@@ -1,0 +1,53 @@
+"""Microbenchmarks: wall-clock time of each join algorithm on the fixed
+base workloads (one timed benchmark per algorithm and dataset, useful for
+regression tracking rather than paper comparison)."""
+
+import pytest
+
+from repro.core.api import structural_join
+
+
+@pytest.mark.parametrize("algorithm", ["stack-tree", "mpmgjn", "b+",
+                                       "xr-stack"])
+def test_join_employee_name(benchmark, algorithm, dept_base):
+    outcome = benchmark.pedantic(
+        lambda: structural_join(dept_base.ancestors, dept_base.descendants,
+                                algorithm=algorithm, collect=False),
+        rounds=3, iterations=1,
+    )
+    assert outcome.pair_count > 0
+
+
+@pytest.mark.parametrize("algorithm", ["stack-tree", "b+", "xr-stack"])
+def test_join_paper_author(benchmark, algorithm, conf_base):
+    outcome = benchmark.pedantic(
+        lambda: structural_join(conf_base.ancestors, conf_base.descendants,
+                                algorithm=algorithm, collect=False),
+        rounds=3, iterations=1,
+    )
+    assert outcome.pair_count > 0
+
+
+def test_index_bulk_load(benchmark, dept_base):
+    from repro.core.api import StorageContext, build_xr_tree
+
+    def build():
+        context = StorageContext()
+        return build_xr_tree(dept_base.ancestors, context.pool)
+
+    tree = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert tree.size == len(dept_base.ancestors)
+
+
+def test_find_ancestors_probe(benchmark, dept_base):
+    from repro.core.api import StorageContext, build_xr_tree
+
+    context = StorageContext()
+    tree = build_xr_tree(dept_base.ancestors, context.pool)
+    probes = [e.start for e in dept_base.descendants[::50]]
+
+    def run():
+        return sum(len(tree.find_ancestors(p)) for p in probes)
+
+    total = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert total >= 0

@@ -1,0 +1,52 @@
+"""Section 5.3 — parent-child joins.
+
+The paper extends FindDescendants/FindAncestors to FindChildren/FindParent
+by storing ``level`` and filtering; the parent-child structural join
+("employee/name") must therefore cost essentially the same as the
+ancestor-descendant join over the same inputs, while producing a subset of
+its pairs.
+"""
+
+import pytest
+
+from repro.core.api import structural_join
+
+
+@pytest.mark.parametrize("algorithm", ["stack-tree", "b+", "xr-stack"])
+def test_parent_child_vs_ancestor_descendant(benchmark, dept_base,
+                                             algorithm):
+    def run():
+        ad = structural_join(dept_base.ancestors, dept_base.descendants,
+                             algorithm=algorithm, collect=False)
+        pc = structural_join(dept_base.ancestors, dept_base.descendants,
+                             algorithm=algorithm, parent_child=True,
+                             collect=False)
+        return ad, pc
+
+    ad, pc = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n%s: AD pairs=%d scanned=%d misses=%d | "
+          "PC pairs=%d scanned=%d misses=%d"
+          % (algorithm, ad.stats.pairs, ad.stats.elements_scanned,
+             ad.page_misses, pc.stats.pairs, pc.stats.elements_scanned,
+             pc.page_misses))
+    # Parent-child output is a subset of ancestor-descendant output.
+    assert pc.stats.pairs <= ad.stats.pairs
+    assert pc.stats.pairs > 0
+    # The level filter is free: same elements examined, same pages read.
+    assert pc.stats.elements_scanned == ad.stats.elements_scanned
+    assert abs(pc.page_misses - ad.page_misses) <= 2
+
+
+def test_parent_child_counts_agree_across_algorithms(benchmark, dept_base):
+    def run():
+        return {
+            algorithm: structural_join(
+                dept_base.ancestors, dept_base.descendants,
+                algorithm=algorithm, parent_child=True, collect=False,
+            ).stats.pairs
+            for algorithm in ("stack-tree", "mpmgjn", "b+", "xr-stack")
+        }
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nparent-child pair counts:", counts)
+    assert len(set(counts.values())) == 1

@@ -1,0 +1,71 @@
+"""Query-plan study: binary join pipelines vs holistic PathStack.
+
+The paper's future work (Section 7) is evaluating "a combination of
+multiple structural joins".  Two execution strategies for the same path are
+compared: the XR-stack pipeline (one indexed binary join per step, the
+engine's default) and the holistic PathStack pass (one synchronized scan of
+all streams).  Both must agree on the distinct final matches.
+"""
+
+import pytest
+
+from repro.query import PathQueryEngine, evaluate_path_stack
+
+PATHS = (
+    "//department//employee//name",
+    "//employee//employee/name",
+    "//department/employee/name",
+)
+
+
+def test_pipeline_vs_holistic(benchmark, dept_base):
+    document = dept_base.document
+
+    def run():
+        engine = PathQueryEngine(document)
+        rows = []
+        for path in PATHS:
+            pipeline = engine.evaluate(path)
+            holistic = evaluate_path_stack(document, path)
+            assert [e.start for e in holistic.last_elements()] == \
+                pipeline.starts(), path
+            rows.append((path, len(pipeline), holistic.count,
+                         pipeline.stats.elements_scanned,
+                         holistic.stats.elements_scanned))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== query plans: XR-stack pipeline vs PathStack ===")
+    print("%-36s %8s %9s %10s %10s"
+          % ("path", "matches", "solutions", "pipe scan", "holi scan"))
+    for path, matches, solutions, pipe, holi in rows:
+        print("%-36s %8d %9d %10d %10d"
+              % (path, matches, solutions, pipe, holi))
+    # The holistic pass touches each stream element at most once, so its
+    # scan count is bounded by the total stream length.
+    for path, _matches, _solutions, _pipe, holi in rows:
+        total = sum(
+            len(document.entries_for_tag(step.tag))
+            for step in __import__("repro.query.path",
+                                   fromlist=["parse_path"])
+            .parse_path(path).steps
+        )
+        assert holi <= total + 1
+
+
+@pytest.mark.parametrize("path", PATHS)
+def test_time_pipeline(benchmark, dept_base, path):
+    engine = PathQueryEngine(dept_base.document)
+    result = benchmark.pedantic(lambda: engine.evaluate(path),
+                                rounds=3, iterations=1)
+    assert len(result) >= 0
+
+
+@pytest.mark.parametrize("path", PATHS)
+def test_time_holistic(benchmark, dept_base, path):
+    document = dept_base.document
+    result = benchmark.pedantic(
+        lambda: evaluate_path_stack(document, path, collect=False),
+        rounds=3, iterations=1,
+    )
+    assert result.count >= 0

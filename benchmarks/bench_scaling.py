@@ -1,0 +1,69 @@
+"""Scale-stability study.
+
+DESIGN.md's substitution argument rests on the claim that the paper's
+metrics are ratio/ordering-based and therefore scale-stable.  This bench
+runs the headline experiment (Join-A = 5 %, employee vs name) at three data
+scales and asserts that the qualitative relationships survive scaling —
+i.e. that reproducing at laptop scale is meaningful.
+"""
+
+import pytest
+
+from repro.core.api import StorageContext, structural_join
+from repro.workloads.datasets import department_dataset
+from repro.workloads.selectivity import vary_ancestor_selectivity
+
+SCALES = (4000, 8000, 16000)
+
+
+def _measure(scale):
+    base = department_dataset(scale, seed=7)
+    workload = vary_ancestor_selectivity(base, 0.05, seed=7)
+    row = {}
+    for algorithm in ("stack-tree", "xr-stack"):
+        context = StorageContext(page_size=1024, buffer_pages=100)
+        outcome = structural_join(workload.ancestors,
+                                  workload.descendants,
+                                  algorithm=algorithm, context=context,
+                                  collect=False)
+        row[algorithm] = outcome
+    return row
+
+
+def test_shape_is_scale_stable(benchmark):
+    rows = benchmark.pedantic(
+        lambda: {scale: _measure(scale) for scale in SCALES},
+        rounds=1, iterations=1,
+    )
+    print("\n=== scale stability, Join-A = 5%% ===")
+    ratios = []
+    for scale in SCALES:
+        nidx = rows[scale]["stack-tree"]
+        xr = rows[scale]["xr-stack"]
+        ratio = nidx.stats.elements_scanned / max(
+            1, xr.stats.elements_scanned)
+        ratios.append(ratio)
+        print("scale %6d: NIDX scans %7d (%4d misses) | XR scans %6d "
+              "(%4d misses) | scan ratio %.1fx"
+              % (scale, nidx.stats.elements_scanned, nidx.page_misses,
+                 xr.stats.elements_scanned, xr.page_misses, ratio))
+    # XR wins at every scale, by a healthy factor.
+    assert all(ratio > 3 for ratio in ratios)
+    # The advantage does not evaporate with scale: the largest scale's
+    # ratio is at least half the smallest scale's.
+    assert ratios[-1] >= ratios[0] * 0.5
+    # Page-miss savings also hold (or grow) as data outgrows the buffer.
+    large = rows[SCALES[-1]]
+    assert large["xr-stack"].page_misses < \
+        large["stack-tree"].page_misses
+
+
+def test_absolute_work_grows_linearly(benchmark):
+    rows = benchmark.pedantic(
+        lambda: {scale: _measure(scale) for scale in (4000, 16000)},
+        rounds=1, iterations=1,
+    )
+    small = rows[4000]["stack-tree"].stats.elements_scanned
+    large = rows[16000]["stack-tree"].stats.elements_scanned
+    # 4x the data ~ 4x the merge work (within generous slack).
+    assert 2.0 < large / small < 8.0

@@ -1,0 +1,62 @@
+"""Section 3.3 — stab-list size study.
+
+The paper measured stab lists on XMach/XMark element sets and found the
+average and maximum per-node stab list to be a few pages and the total far
+below the leaf level (<10 % even for nesting > 10).  We substitute a
+generator nesting sweep (the controlled variable is the same: the maximum
+number of same-tag nestings h_d) and assert the same bounds.
+"""
+
+from repro.bench.studies import stab_list_study
+
+
+def test_stab_list_sizes(benchmark):
+    reports = benchmark.pedantic(
+        lambda: stab_list_study(target_elements=6000,
+                                nesting_levels=(4, 8, 12, 16)),
+        rounds=1, iterations=1,
+    )
+    print("\n=== Section 3.3: stab list sizes vs nesting ===")
+    for report in reports:
+        print("nesting=%2d  elements=%5d stabbed=%5d  stab/leaf pages "
+              "= %3d/%4d (%.1f%%)  per-node avg %.2f max %d  dirs %d"
+              % (report.nesting, report.elements, report.stabbed_elements,
+                 report.stab_pages, report.leaf_pages,
+                 100 * report.stab_to_leaf_ratio,
+                 report.avg_stab_pages_per_node,
+                 report.max_stab_pages_per_node, report.directory_pages))
+    for report in reports:
+        # Linear storage: stabbed elements never exceed elements indexed.
+        assert report.stabbed_elements <= report.elements
+        # "The total size of stab lists is much smaller than the whole set
+        # of elements indexed (less than 10% of leaf pages ...)".
+        assert report.stab_to_leaf_ratio < 0.35
+        # "the number of pages for the stab list attached to an internal
+        # node is small, ranging from zero to a few pages" (S_max = 2 h_d).
+        assert report.max_stab_pages_per_node <= 2 * max(report.nesting, 1)
+    deepest = max(reports, key=lambda r: r.nesting)
+    shallowest = min(reports, key=lambda r: r.nesting)
+    assert deepest.stabbed_elements >= shallowest.stabbed_elements
+
+
+def test_stab_list_sizes_auction_profile(benchmark):
+    """The same study on the XMark-style set (indirect parlist recursion),
+    matching the paper's use of XMark data for Section 3.3."""
+    reports = benchmark.pedantic(
+        lambda: stab_list_study(target_elements=6000,
+                                nesting_levels=(6, 12),
+                                profile="auction", page_size=1024),
+        rounds=1, iterations=1,
+    )
+    print("\n=== Section 3.3, auction (parlist) profile ===")
+    for report in reports:
+        print("nesting=%2d  stabbed=%5d/%5d  stab/leaf = %d/%d (%.1f%%)  "
+              "max/node %d  dirs %d"
+              % (report.nesting, report.stabbed_elements, report.elements,
+                 report.stab_pages, report.leaf_pages,
+                 100 * report.stab_to_leaf_ratio,
+                 report.max_stab_pages_per_node, report.directory_pages))
+    for report in reports:
+        assert report.stabbed_elements <= report.elements
+        assert report.stab_to_leaf_ratio < 0.35
+        assert report.max_stab_pages_per_node <= 2 * max(report.nesting, 1)

@@ -1,0 +1,66 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale with ``REPRO_BENCH_SCALE`` (approximate elements per generated
+document; default 12000 keeps the full suite under a few minutes).  Each
+sweep fixture reproduces one paper artifact and is shared between the
+table-shape assertions and the timed cells.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.harness import ExperimentConfig, run_selectivity_sweep
+from repro.workloads.datasets import conference_dataset, department_dataset
+
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "12000"))
+
+
+@pytest.fixture(scope="session")
+def config():
+    return ExperimentConfig(target_elements=SCALE)
+
+
+@pytest.fixture(scope="session")
+def dept_base(config):
+    return department_dataset(config.target_elements, seed=config.seed)
+
+
+@pytest.fixture(scope="session")
+def conf_base(config):
+    return conference_dataset(config.target_elements, seed=config.seed)
+
+
+def _sweep(dataset_name, protocol, config, base):
+    return run_selectivity_sweep(dataset_name, protocol, config,
+                                 base_dataset=base)
+
+
+@pytest.fixture(scope="session")
+def sweep_t2a(config, dept_base):
+    return _sweep("employee_name", "ancestors", config, dept_base)
+
+
+@pytest.fixture(scope="session")
+def sweep_t2b(config, conf_base):
+    return _sweep("paper_author", "ancestors", config, conf_base)
+
+
+@pytest.fixture(scope="session")
+def sweep_t3a(config, dept_base):
+    return _sweep("employee_name", "descendants", config, dept_base)
+
+
+@pytest.fixture(scope="session")
+def sweep_t3b(config, conf_base):
+    return _sweep("paper_author", "descendants", config, conf_base)
+
+
+@pytest.fixture(scope="session")
+def sweep_f8e(config, dept_base):
+    return _sweep("employee_name", "both", config, dept_base)
+
+
+@pytest.fixture(scope="session")
+def sweep_f8f(config, conf_base):
+    return _sweep("paper_author", "both", config, conf_base)

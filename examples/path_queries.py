@@ -1,0 +1,47 @@
+"""Evaluate multi-step path expressions as pipelines of structural joins.
+
+This exercises the paper's stated future work (Section 7): complex queries
+combining multiple structural joins over XR-tree indexed element sets.
+
+Run:  python examples/path_queries.py [scale]
+"""
+
+import sys
+
+from repro.query import PathQueryEngine
+from repro.workloads import department_dataset
+
+QUERIES = (
+    "//department//employee",
+    "//employee//name",
+    "//employee/name",          # parent-child step
+    "//department//employee//employee/name",
+    "/departments/department/name",
+    "//employee/email",
+)
+
+
+def main():
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 6000
+    data = department_dataset(scale)
+    print("document: %d elements, employee nesting depth %d"
+          % (data.document.element_count(),
+             data.document.max_nesting("employee")))
+
+    engine = PathQueryEngine(data.document)
+    fallback = PathQueryEngine(data.document, strategy="stack-tree")
+    print("\n%-44s %9s %7s %12s %12s"
+          % ("path", "matches", "joins", "xr scanned", "nidx scanned"))
+    for query in QUERIES:
+        fast = engine.evaluate(query)
+        slow = fallback.evaluate(query)
+        assert fast.starts() == slow.starts(), "plans disagree!"
+        print("%-44s %9d %7d %12d %12d"
+              % (query, len(fast), fast.joins_run,
+                 fast.stats.elements_scanned, slow.stats.elements_scanned))
+    print("\nBoth strategies return identical matches; the XR-stack plan "
+          "scans fewer elements whenever a step is selective.")
+
+
+if __name__ == "__main__":
+    main()

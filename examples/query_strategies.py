@@ -1,0 +1,68 @@
+"""Three query evaluation strategies for the same path expressions.
+
+The paper's Section 7 future work — "query evaluation strategies for complex
+XML queries (i.e. a combination of multiple structural joins)" — compared
+head to head:
+
+1. the binary XR-stack **pipeline** (left-to-right, indexed per step);
+2. the **greedy-ordered** pipeline (most selective joins first);
+3. the **holistic** PathStack pass (all streams at once).
+
+All three must return identical matches; their element-scan counts differ.
+
+Run:  python examples/query_strategies.py [scale]
+"""
+
+import sys
+
+from repro.query import (
+    GreedyPlanner,
+    LeftToRightPlanner,
+    PathQueryEngine,
+    evaluate_path_stack,
+    execute_plan,
+)
+from repro.workloads import department_dataset
+
+PATHS = (
+    "//department//employee//name",
+    "//department//employee//email",
+    "//employee//employee//name",
+    "//department/employee/name",
+)
+
+
+def main():
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 6000
+    document = department_dataset(scale, seed=23).document
+    engine = PathQueryEngine(document)
+
+    print("%-34s %8s | %10s %10s %10s"
+          % ("path", "matches", "pipeline", "greedy", "holistic"))
+    for path in PATHS:
+        pipeline = engine.evaluate(path)
+        greedy = execute_plan(document, path, GreedyPlanner())
+        ordered = execute_plan(document, path, LeftToRightPlanner())
+        holistic = evaluate_path_stack(document, path, collect=False)
+        holistic_matches = evaluate_path_stack(document, path)
+
+        assert [e.start for e in greedy.matches] == pipeline.starts()
+        assert [e.start for e in ordered.matches] == pipeline.starts()
+        assert [e.start for e in
+                holistic_matches.last_elements()] == pipeline.starts()
+
+        print("%-34s %8d | %10d %10d %10d"
+              % (path, len(pipeline),
+                 pipeline.stats.elements_scanned,
+                 greedy.stats.elements_scanned,
+                 holistic.stats.elements_scanned))
+        if greedy.order:
+            print("  greedy join order: "
+                  + " , ".join("%s-%s" % pair for pair in greedy.order))
+    print("\nAll strategies agree on every result; the scan counts show "
+          "where each pays its cost (the holistic pass is bounded by the "
+          "total stream length, the pipelines by their intermediate sizes).")
+
+
+if __name__ == "__main__":
+    main()

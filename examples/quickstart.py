@@ -1,0 +1,65 @@
+"""Quickstart: index an XML document with XR-trees and run a structural join.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import StorageContext, XRTreeIndex, structural_join
+from repro.xmldata.parser import parse_document
+
+DOCUMENT = """
+<dept>
+  <emp><name>w</name>
+    <emp><emp/></emp>
+  </emp>
+  <emp><name>x</name>
+    <emp><name>y</name>
+      <emp><emp/></emp>
+    </emp>
+  </emp>
+  <emp><name>z</name></emp>
+  <office/>
+</dept>
+"""
+
+
+def main():
+    # Parse XML into a region-encoded document (the paper's Figure 1 style:
+    # every element carries a (start, end) pair assigned in document order).
+    document = parse_document(DOCUMENT)
+    document.validate()
+    for element in list(document)[:4]:
+        print("%-6s region=(%d, %d) level=%d"
+              % (element.tag, element.start, element.end, element.level))
+
+    # Extract the two element sets of the join "emp//name".
+    emps = document.entries_for_tag("emp")
+    names = document.entries_for_tag("name")
+
+    # Index the emp set with an XR-tree and ask structural questions.
+    context = StorageContext()  # in-memory disk + 100-page buffer pool
+    index = XRTreeIndex.build(emps, context)
+    probe = names[1]  # some name element
+    print("\nname at %d has emp ancestors:" % probe.start,
+          [a.start for a in index.ancestors_of(probe)])
+    top = emps[0]
+    print("emp at %d has emp descendants:" % top.start,
+          [d.start for d in index.descendants_of(top)])
+
+    # One-call structural join: all (emp, name) ancestor-descendant pairs.
+    outcome = structural_join(emps, names, algorithm="xr-stack")
+    print("\nemp//name pairs:", outcome.stats.pairs)
+    for ancestor, descendant in outcome.pairs:
+        print("  emp(%d,%d) contains name(%d,%d)"
+              % (ancestor.start, ancestor.end,
+                 descendant.start, descendant.end))
+    print("elements scanned:", outcome.stats.elements_scanned,
+          "| page misses:", outcome.page_misses)
+
+    # Parent-child variant ("emp/name").
+    outcome_pc = structural_join(emps, names, algorithm="xr-stack",
+                                 parent_child=True)
+    print("emp/name (parent-child) pairs:", outcome_pc.stats.pairs)
+
+
+if __name__ == "__main__":
+    main()

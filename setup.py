@@ -1,0 +1,7 @@
+"""Setup shim for environments without the `wheel` package (PEP 660
+editable installs need it); `python setup.py develop` and legacy
+`pip install -e .` both work through this file."""
+
+from setuptools import setup
+
+setup()

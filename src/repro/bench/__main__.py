@@ -1,0 +1,146 @@
+"""Regenerate every paper artifact from the command line.
+
+Usage::
+
+    python -m repro.bench --scale 20000 --out results.md
+
+Writes a markdown report with one section per table/figure, measured values
+side by side with the paper's reported numbers (tables) or qualitative
+expectations (figures).
+"""
+
+import argparse
+import sys
+import time
+
+from repro.bench.figures import ascii_chart
+from repro.bench.harness import ExperimentConfig, run_selectivity_sweep
+from repro.bench.paper_numbers import FIGURE_8_SHAPE
+from repro.bench.report import (
+    format_elapsed_table,
+    format_scanned_table,
+    format_series,
+)
+from repro.bench.studies import (
+    ablation_buffer_sizes,
+    ablation_split_keys,
+    stab_list_study,
+    update_cost_study,
+)
+from repro.workloads.datasets import conference_dataset, department_dataset
+
+_SWEEPS = [
+    ("T2a / F8a", "employee_name", "ancestors", "table2a", "fig8a"),
+    ("T2b / F8b", "paper_author", "ancestors", "table2b", "fig8b"),
+    ("T3a / F8c", "employee_name", "descendants", "table3a", "fig8c"),
+    ("T3b / F8d", "paper_author", "descendants", "table3b", "fig8d"),
+    ("F8e", "employee_name", "both", None, "fig8e"),
+    ("F8f", "paper_author", "both", None, "fig8f"),
+]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="python -m repro.bench")
+    parser.add_argument("--scale", type=int, default=20000,
+                        help="approximate generated elements per document")
+    parser.add_argument("--out", default=None,
+                        help="write the markdown report here (default stdout)")
+    parser.add_argument("--csv", default=None,
+                        help="also write every sweep cell as CSV here")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--skip-studies", action="store_true",
+                        help="only run the six sweeps")
+    args = parser.parse_args(argv)
+
+    config = ExperimentConfig(target_elements=args.scale, seed=args.seed)
+    sections = []
+    csv_chunks = []
+    datasets = {
+        "employee_name": department_dataset(args.scale, seed=args.seed),
+        "paper_author": conference_dataset(args.scale, seed=args.seed),
+    }
+    for title, dataset, protocol, paper_key, figure_key in _SWEEPS:
+        started = time.perf_counter()
+        result = run_selectivity_sweep(dataset, protocol, config,
+                                       base_dataset=datasets[dataset])
+        took = time.perf_counter() - started
+        body = ["## %s — %s, vary %s" % (title, dataset, protocol), ""]
+        if paper_key:
+            body += ["Elements scanned (ours, with paper thousands):", "",
+                     "```", format_scanned_table(result, paper_key), "```", ""]
+        body += ["Derived elapsed time and page misses:", "",
+                 "```", format_elapsed_table(result), "```", "",
+                 "Series (for plotting):", "",
+                 "```", format_series(result), "```", ""]
+        if figure_key:
+            body += ["```",
+                     ascii_chart(result,
+                                 title="Figure 8 analogue (%s)" % figure_key),
+                     "```", "",
+                     "Paper expectation: %s" % FIGURE_8_SHAPE[figure_key], ""]
+        body.append("_sweep wall time: %.1fs_" % took)
+        sections.append("\n".join(body))
+        if args.csv:
+            from repro.bench.report import sweep_to_csv
+
+            csv_chunks.append(sweep_to_csv(result))
+        print("finished %s in %.1fs" % (title, took), file=sys.stderr)
+
+    if not args.skip_studies:
+        sections.append(_studies_section())
+
+    report = "# XR-tree reproduction results (scale=%d)\n\n%s\n" % (
+        args.scale, "\n\n".join(sections)
+    )
+    if args.csv and csv_chunks:
+        header, _, _ = csv_chunks[0].partition("\n")
+        body = [header]
+        for chunk in csv_chunks:
+            body.extend(chunk.splitlines()[1:])
+        with open(args.csv, "w") as handle:
+            handle.write("\n".join(body) + "\n")
+        print("wrote %s" % args.csv, file=sys.stderr)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print("wrote %s" % args.out, file=sys.stderr)
+    else:
+        print(report)
+
+
+def _studies_section():
+    lines = ["## S33 — stab-list size study (Section 3.3)", ""]
+    for profile in ("department", "auction"):
+        lines.append("Profile: %s" % profile)
+        for report in stab_list_study(profile=profile):
+            lines.append(
+                "- nesting=%d: %d elements, %d stabbed, stab/leaf pages = "
+                "%d/%d (%.1f%%), avg %.2f max %d pages per node, "
+                "%d directories"
+                % (report.nesting, report.elements, report.stabbed_elements,
+                   report.stab_pages, report.leaf_pages,
+                   100 * report.stab_to_leaf_ratio,
+                   report.avg_stab_pages_per_node,
+                   report.max_stab_pages_per_node, report.directory_pages)
+            )
+        lines.append("")
+    lines += ["", "## UPD — amortized update cost (Theorems 1-2)", ""]
+    for report in update_cost_study():
+        lines.append(
+            "- %s %s: %.3f transfers/op, %.3f misses/op over %d ops"
+            % (report.structure, report.operation, report.transfers_per_op,
+               report.misses_per_op, report.operations)
+        )
+    lines += ["", "## ABL — ablations", ""]
+    for cell in ablation_split_keys():
+        lines.append("- split keys %s: %d stabbed elements"
+                     % (cell.setting, cell.stabbed_elements))
+    for cell in ablation_buffer_sizes():
+        lines.append("- %s: %d misses, %d scanned"
+                     % (cell.setting, cell.page_misses,
+                        cell.elements_scanned))
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Rendering of sweep results in the paper's table/figure formats."""
+
+from repro.bench.paper_numbers import PAPER_TABLES
+
+_LABELS = {"stack-tree": "NIDX", "b+": "B+", "xr-stack": "XR",
+           "mpmgjn": "MPMGJN"}
+
+
+def _percent(value):
+    return "%d%%" % round(value * 100)
+
+
+def format_scanned_table(result, paper_key=None):
+    """Render a Table 2/3-style grid: elements scanned (in thousands).
+
+    With ``paper_key`` the paper's reported thousands are interleaved for a
+    side-by-side shape comparison.
+    """
+    algorithms = [a for a in ("stack-tree", "b+", "xr-stack", "mpmgjn")
+                  if any(c.algorithm == a for c in result.cells)]
+    header = ["Join-%"] + [_LABELS[a] for a in algorithms]
+    paper = PAPER_TABLES.get(paper_key, {})
+    if paper:
+        header += ["paper:" + _LABELS[a] for a in algorithms if
+                   _LABELS[a] in next(iter(paper.values()))]
+    lines = ["\t".join(header)]
+    for step in result.config.steps:
+        row = [_percent(step)]
+        for algorithm in algorithms:
+            cell = result.cell(step, algorithm)
+            row.append(_thousands(cell.elements_scanned))
+        if paper:
+            reported = paper.get(step, {})
+            for algorithm in algorithms:
+                label = _LABELS[algorithm]
+                if label in reported:
+                    row.append(str(reported[label]))
+        lines.append("\t".join(row))
+    return "\n".join(lines)
+
+
+def format_elapsed_table(result):
+    """Render a Figure 8-style grid: derived elapsed seconds per algorithm."""
+    algorithms = [a for a in ("stack-tree", "b+", "xr-stack", "mpmgjn")
+                  if any(c.algorithm == a for c in result.cells)]
+    lines = ["\t".join(["Join-%"] + [_LABELS[a] for a in algorithms]
+                       + ["misses:" + _LABELS[a] for a in algorithms])]
+    for step in result.config.steps:
+        row = [_percent(step)]
+        for algorithm in algorithms:
+            row.append("%.3f" % result.cell(step, algorithm).derived_seconds)
+        for algorithm in algorithms:
+            row.append(str(result.cell(step, algorithm).page_misses))
+        lines.append("\t".join(row))
+    return "\n".join(lines)
+
+
+def format_series(result, metric="derived_seconds"):
+    """Figure-8 line series, one per algorithm: ``label: [(x, y), ...]``."""
+    lines = []
+    for algorithm in ("stack-tree", "b+", "xr-stack", "mpmgjn"):
+        series = result.series(algorithm, metric)
+        if series:
+            points = ", ".join("(%d%%, %.3f)" % (round(x * 100), y)
+                               for x, y in series)
+            lines.append("%s: %s" % (_LABELS[algorithm], points))
+    return "\n".join(lines)
+
+
+def sweep_to_csv(result):
+    """Flatten a sweep into CSV text (one row per cell) for external
+    plotting tools."""
+    header = ("dataset,protocol,selectivity,algorithm,elements_scanned,"
+              "page_misses,writebacks,derived_seconds,wall_seconds,pairs,"
+              "join_a,join_d,ancestors,descendants")
+    rows = [header]
+    for cell in result.cells:
+        rows.append(",".join(str(v) for v in (
+            result.dataset, result.protocol, cell.selectivity,
+            cell.algorithm, cell.elements_scanned, cell.page_misses,
+            cell.writebacks, round(cell.derived_seconds, 6),
+            round(cell.wall_seconds, 6), cell.pairs,
+            round(cell.join_a, 4), round(cell.join_d, 4),
+            cell.list_sizes[0], cell.list_sizes[1],
+        )))
+    return "\n".join(rows) + "\n"
+
+
+def _thousands(value):
+    if value >= 1000:
+        return "%.1fk" % (value / 1000.0)
+    return str(value)
+
+
+def shape_checks(result):
+    """Assertable shape properties the paper's artifacts exhibit.
+
+    Returns a dict of named booleans used by the benchmark suite:
+
+    * ``xr_scans_least`` — XR-stack scans no more elements than either
+      baseline at every selectivity;
+    * ``nidx_flat`` — the no-index scan count is insensitive to selectivity
+      relative to list sizes (it always scans everything);
+    * ``gap_grows`` — the NIDX/XR scan ratio grows as selectivity falls.
+    """
+    steps = list(result.config.steps)
+    nidx = result.column("stack-tree")
+    xr = result.column("xr-stack")
+    bplus = result.column("b+")
+    checks = {}
+    checks["xr_scans_least"] = all(
+        x <= n and x <= b + max(2, b // 20)
+        for x, n, b in zip(xr, nidx, bplus)
+    )
+    ratios = [n / max(x, 1) for n, x in zip(nidx, xr)]
+    checks["gap_grows"] = ratios[-1] > ratios[0]
+    checks["monotone_xr"] = all(
+        earlier >= later for earlier, later in zip(xr, xr[1:])
+    ) or xr[0] > xr[-1]
+    return checks

@@ -1,0 +1,26 @@
+"""Public API: storage contexts, the XR-tree index facade and one-call
+structural joins."""
+
+from repro.core.api import (
+    ALGORITHMS,
+    JoinOutcome,
+    StorageContext,
+    XRTreeIndex,
+    build_bplus_tree,
+    build_element_list,
+    build_xr_tree,
+    structural_join,
+)
+from repro.core.database import XmlDatabase
+
+__all__ = [
+    "ALGORITHMS",
+    "JoinOutcome",
+    "StorageContext",
+    "XRTreeIndex",
+    "XmlDatabase",
+    "build_bplus_tree",
+    "build_element_list",
+    "build_xr_tree",
+    "structural_join",
+]

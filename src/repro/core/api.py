@@ -1,0 +1,234 @@
+"""High-level facade over the storage substrate, indexes and joins.
+
+Typical use::
+
+    from repro.core import StorageContext, XRTreeIndex, structural_join
+    from repro.workloads import department_dataset
+
+    data = department_dataset(target_elements=20000)
+    outcome = structural_join(data.ancestors, data.descendants,
+                              algorithm="xr-stack")
+    print(outcome.stats.pairs, outcome.page_misses)
+"""
+
+import time
+from dataclasses import dataclass, field
+
+from repro.indexes.bptree import BPlusTree
+from repro.indexes.xrtree import XRTree
+from repro.joins import (
+    bplus_join,
+    mpmgjn_join,
+    nested_loop_join,
+    stack_tree_anc_join,
+    stack_tree_join,
+    xr_stack_join,
+)
+from repro.joins.base import JoinStats
+from repro.storage.buffer import DEFAULT_POOL_PAGES, BufferPool
+from repro.storage.disk import DEFAULT_PAGE_SIZE, FileDisk, InMemoryDisk
+from repro.storage.pagedlist import PagedElementList
+from repro.storage.timemodel import DiskTimeModel
+
+#: Names accepted by :func:`structural_join`: the paper's Table 1 plus the
+#: ancestor-ordered Stack-Tree variant from the same cited work.
+ALGORITHMS = ("stack-tree", "stack-tree-anc", "mpmgjn", "b+", "xr-stack")
+
+
+class StorageContext:
+    """A disk plus buffer pool with measurement helpers.
+
+    Mirrors the paper's experimental system: a storage manager, a buffer
+    pool of a fixed number of frames (default 100 pages, as in Section 6.1)
+    and index modules on top.
+    """
+
+    def __init__(self, page_size=DEFAULT_PAGE_SIZE,
+                 buffer_pages=DEFAULT_POOL_PAGES, path=None,
+                 time_model=None):
+        if path is None:
+            self.disk = InMemoryDisk(page_size)
+        else:
+            self.disk = FileDisk(path, page_size)
+        self.pool = BufferPool(self.disk, buffer_pages)
+        self.time_model = time_model or DiskTimeModel()
+
+    def reset_stats(self):
+        self.disk.stats.reset()
+        self.pool.reset_stats()
+
+    @property
+    def page_misses(self):
+        return self.pool.stats.misses
+
+    @property
+    def writebacks(self):
+        return self.pool.stats.writebacks
+
+    def derived_seconds(self, elements_scanned=0):
+        """Model-based elapsed time for the I/O performed so far."""
+        return self.time_model.elapsed_seconds(
+            self.pool.stats.misses, self.pool.stats.writebacks,
+            elements_scanned,
+        )
+
+    def close(self):
+        if isinstance(self.disk, FileDisk):
+            self.disk.close()
+
+
+class XRTreeIndex:
+    """User-facing XR-tree over one element set.
+
+    Wraps :class:`~repro.indexes.xrtree.XRTree` with entry-level conveniences
+    (ancestors/descendants/parent/children of an element) and owns a storage
+    context unless one is supplied.
+    """
+
+    def __init__(self, context=None, **tree_options):
+        self.context = context or StorageContext()
+        self.tree = XRTree(self.context.pool, **tree_options)
+
+    @classmethod
+    def build(cls, entries, context=None, fill_factor=1.0, **tree_options):
+        """Bulk-load a new index from start-sorted element entries."""
+        index = cls(context, **tree_options)
+        index.tree.bulk_load(entries, fill_factor)
+        return index
+
+    def __len__(self):
+        return self.tree.size
+
+    def insert(self, entry):
+        self.tree.insert(entry)
+
+    def delete(self, start):
+        return self.tree.delete(start)
+
+    def items(self):
+        return self.tree.items()
+
+    def ancestors_of(self, element, counter=None):
+        """All indexed ancestors of ``element`` (FindAncestors)."""
+        return [
+            entry for entry in self.tree.find_ancestors(element.start, counter)
+            if entry.end > element.end
+        ]
+
+    def descendants_of(self, element, counter=None):
+        """All indexed descendants of ``element`` (FindDescendants)."""
+        return self.tree.find_descendants(element.start, element.end, counter)
+
+    def parent_of(self, element, counter=None):
+        """The indexed parent, or None (FindParent, Section 5.3)."""
+        matches = self.tree.find_ancestors(
+            element.start, counter, required_level=element.level - 1
+        )
+        return matches[-1] if matches else None
+
+    def children_of(self, element, counter=None):
+        """All indexed children (FindChildren, Section 5.3)."""
+        return self.tree.find_descendants(
+            element.start, element.end, counter,
+            required_level=element.level + 1,
+        )
+
+    def check(self):
+        from repro.indexes.xrtree import check_xrtree
+
+        return check_xrtree(self.tree)
+
+
+@dataclass
+class JoinOutcome:
+    """Everything measured about one join run."""
+
+    algorithm: str
+    pairs: list
+    stats: JoinStats
+    page_misses: int = 0
+    writebacks: int = 0
+    wall_seconds: float = 0.0
+    derived_seconds: float = 0.0
+    build_page_misses: int = 0
+
+    @property
+    def pair_count(self):
+        return self.stats.pairs
+
+
+def build_element_list(entries, pool, fill_factor=1.0):
+    """Materialize a start-sorted paged element list (no-index input)."""
+    return PagedElementList.build(pool, entries, fill_factor)
+
+
+def build_bplus_tree(entries, pool, fill_factor=1.0):
+    """Bulk-load a B+-tree on the ``start`` attribute."""
+    tree = BPlusTree(pool)
+    tree.bulk_load(entries, fill_factor)
+    return tree
+
+
+def build_xr_tree(entries, pool, fill_factor=1.0, optimize_split_keys=True):
+    """Bulk-load an XR-tree."""
+    tree = XRTree(pool, optimize_split_keys=optimize_split_keys)
+    tree.bulk_load(entries, fill_factor)
+    return tree
+
+
+def structural_join(ancestors, descendants, algorithm="xr-stack",
+                    parent_child=False, context=None, collect=True,
+                    fill_factor=1.0):
+    """Run one structural join end to end and measure it.
+
+    ``ancestors`` and ``descendants`` are start-sorted element-entry lists;
+    the function builds the representation the chosen algorithm consumes
+    (paged lists, B+-trees or XR-trees) inside ``context`` (a fresh in-memory
+    context by default), clears the statistics so the join itself is measured
+    cold — matching the paper's per-run measurements — and returns a
+    :class:`JoinOutcome`.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(
+            "unknown algorithm %r (expected one of %s)"
+            % (algorithm, ", ".join(ALGORITHMS))
+        )
+    context = context or StorageContext()
+    pool = context.pool
+    if algorithm in ("stack-tree", "stack-tree-anc", "mpmgjn"):
+        a_input = build_element_list(ancestors, pool, fill_factor)
+        d_input = build_element_list(descendants, pool, fill_factor)
+        runner = {"stack-tree": stack_tree_join,
+                  "stack-tree-anc": stack_tree_anc_join,
+                  "mpmgjn": mpmgjn_join}[algorithm]
+    elif algorithm == "b+":
+        a_input = build_bplus_tree(ancestors, pool, fill_factor)
+        d_input = build_bplus_tree(descendants, pool, fill_factor)
+        runner = bplus_join
+    else:
+        a_input = build_xr_tree(ancestors, pool, fill_factor)
+        d_input = build_xr_tree(descendants, pool, fill_factor)
+        runner = xr_stack_join
+    pool.flush_all()
+    pool.clear()  # start the measured join with a cold buffer pool
+    build_misses = pool.stats.misses
+    context.reset_stats()
+    started = time.perf_counter()
+    pairs, stats = runner(a_input, d_input, parent_child=parent_child,
+                          collect=collect)
+    wall = time.perf_counter() - started
+    return JoinOutcome(
+        algorithm=algorithm,
+        pairs=pairs,
+        stats=stats,
+        page_misses=pool.stats.misses,
+        writebacks=pool.stats.writebacks,
+        wall_seconds=wall,
+        derived_seconds=context.derived_seconds(stats.elements_scanned),
+        build_page_misses=build_misses,
+    )
+
+
+def oracle_join(ancestors, descendants, parent_child=False):
+    """Brute-force reference join (testing helper)."""
+    return nested_loop_join(ancestors, descendants, parent_child)

@@ -1,0 +1,33 @@
+"""The XR-tree (XML Region Tree) — the paper's core contribution.
+
+An XR-tree is a B+-tree over element ``start`` positions whose internal nodes
+carry *stab lists* (Definition 4): node ``n`` stores every indexed element
+that is stabbed by at least one key of ``n`` but by no key of any ancestor of
+``n``.  Each key also stores the region ``(ps, pe)`` of the first element of
+its primary stab list, and stab lists spanning several pages get a directory
+page, so that all ancestors of a query point are found during a single
+root-to-leaf descent with ``O(log_F N + R)`` worst-case I/O (Theorem 4) and
+all descendants with ``O(log_F N + R/B)`` I/O (Theorem 3).
+"""
+
+from repro.indexes.xrtree.checker import XRTreeInvariantError, check_xrtree
+from repro.indexes.xrtree.pages import (
+    StabDirectoryPage,
+    StabListPage,
+    XRInternalPage,
+    XRLeafPage,
+)
+from repro.indexes.xrtree.stablist import StabList
+from repro.indexes.xrtree.tree import XRTree, XRTreeError
+
+__all__ = [
+    "StabDirectoryPage",
+    "StabList",
+    "StabListPage",
+    "XRInternalPage",
+    "XRLeafPage",
+    "XRTree",
+    "XRTreeError",
+    "XRTreeInvariantError",
+    "check_xrtree",
+]

@@ -1,0 +1,90 @@
+"""Human-readable XR-tree dumps, for debugging and for documentation.
+
+``dump_xrtree(tree)`` renders the node structure in the style of the
+paper's Figure 3: internal nodes show their ``(k, ps, pe)`` entries and
+stab lists, leaves their ``(s, e, InStabList)`` entries.
+"""
+
+from repro.indexes.xrtree.pages import NIL, XRInternalPage, XRLeafPage
+from repro.indexes.xrtree.stablist import StabList
+
+
+def dump_xrtree(tree, max_leaf_entries=8, max_stab_entries=8):
+    """Return a multi-line rendering of the tree (Figure 3 style)."""
+    if not tree.root_id:
+        return "<empty XR-tree>"
+    lines = ["XR-tree: %d elements, height %d, root page %d"
+             % (tree.size, tree.height, tree.root_id)]
+    _dump_node(tree, tree.root_id, 0, lines, max_leaf_entries,
+               max_stab_entries)
+    return "\n".join(lines)
+
+
+def _dump_node(tree, page_id, depth, lines, max_leaf, max_stab):
+    pad = "  " * depth
+    with tree.pool.pinned(page_id) as page:
+        if isinstance(page, XRLeafPage):
+            entries = ", ".join(
+                "(%d,%d%s)" % (r.start, r.end,
+                               ",S" if r.in_stab_list else "")
+                for r in page.records[:max_leaf]
+            )
+            suffix = (" ... +%d more" % (len(page.records) - max_leaf)
+                      if len(page.records) > max_leaf else "")
+            lines.append("%sleaf p%d: %s%s" % (pad, page_id, entries,
+                                               suffix))
+            return
+        keys = ", ".join(
+            "(k=%d, ps=%s, pe=%s)" % (
+                key,
+                page.ps[i] if page.ps[i] != NIL else "nil",
+                page.pe[i] if page.pe[i] != NIL else "nil",
+            )
+            for i, key in enumerate(page.keys)
+        )
+        lines.append("%snode p%d: %s" % (pad, page_id, keys))
+        if page.sl_count:
+            stab = StabList(tree.pool, page)
+            records = []
+            for record in stab.iter_all():
+                records.append("(%d,%d)" % (record.start, record.end))
+                if len(records) >= max_stab:
+                    break
+            suffix = (" ... +%d more" % (page.sl_count - max_stab)
+                      if page.sl_count > max_stab else "")
+            directory = " [dir p%d]" % page.sl_dir if page.sl_dir else ""
+            lines.append("%s  stab list (%d)%s: %s%s"
+                         % (pad, page.sl_count, directory,
+                            " ".join(records), suffix))
+        children = list(page.children)
+    for child in children:
+        _dump_node(tree, child, depth + 1, lines, max_leaf, max_stab)
+
+
+def stab_summary(tree):
+    """One line per internal node: key count, stab count, chain pages."""
+    if not tree.root_id:
+        return []
+    out = []
+
+    def _walk(page_id, depth):
+        with tree.pool.pinned(page_id) as page:
+            if isinstance(page, XRLeafPage):
+                return []
+            out.append({
+                "page": page_id,
+                "depth": depth,
+                "keys": len(page.keys),
+                "stab_count": page.sl_count,
+                "stab_pages": StabList(tree.pool, page).page_count(),
+                "has_directory": bool(page.sl_dir),
+            })
+            return list(page.children)
+        return []
+
+    frontier = [(tree.root_id, 0)]
+    while frontier:
+        page_id, depth = frontier.pop(0)
+        for child in _walk(page_id, depth):
+            frontier.append((child, depth + 1))
+    return out

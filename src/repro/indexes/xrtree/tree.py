@@ -1,0 +1,860 @@
+"""The XR-tree: structure (Section 3), maintenance (Section 4) and the
+structural search operations FindDescendants / FindAncestors (Section 5.1).
+
+The tree is a B+-tree on element start positions whose internal nodes carry
+stab lists; see :mod:`repro.indexes.xrtree.pages` for the layouts and
+:mod:`repro.indexes.xrtree.stablist` for stab-list maintenance.  All node
+accesses go through a buffer pool, so every operation's I/O is measurable.
+
+Keys must be unique within one tree (start positions of a single document are
+unique by construction; the library gives separate documents disjoint region
+ranges).
+"""
+
+from bisect import bisect_left, bisect_right
+
+from repro.indexes.bptree import BPlusCursor
+from repro.indexes.xrtree.pages import NIL, XRInternalPage, XRLeafPage
+from repro.indexes.xrtree.stablist import StabList
+from repro.storage.errors import StorageError
+
+
+class XRTreeError(StorageError):
+    """XR-tree protocol violations (duplicate keys, corrupt structure)."""
+
+
+class XRTree:
+    """A dynamic external-memory XR-tree (Definition 4).
+
+    ``optimize_split_keys`` enables the paper's split-key choice: when a leaf
+    splits, any value in ``(last-left-start, first-right-start]`` is a valid
+    separator, and picking ``first-right-start - 1`` (when the gap allows)
+    avoids newly stabbing the first right element — the "79 instead of 80"
+    optimization of Section 3.2.
+    """
+
+    #: Maintenance events tallied in ``maintenance_stats``.
+    _EVENTS = ("leaf_splits", "internal_splits", "leaf_borrows",
+               "leaf_merges", "internal_rotations", "internal_merges",
+               "push_downs", "absorptions", "root_splits", "root_shrinks")
+
+    def __init__(self, pool, leaf_capacity=None, internal_capacity=None,
+                 optimize_split_keys=True):
+        self.pool = pool
+        self.root_id = 0
+        self.height = 0  # 0 = empty, 1 = root is a leaf
+        self.size = 0
+        self.optimize_split_keys = optimize_split_keys
+        self.leaf_capacity = leaf_capacity or XRLeafPage.capacity(pool.page_size)
+        self.internal_capacity = (
+            internal_capacity or XRInternalPage.capacity(pool.page_size)
+        )
+        if self.leaf_capacity < 2 or self.internal_capacity < 2:
+            raise XRTreeError("page size too small for XR-tree nodes")
+        #: Counts of structural maintenance events, for observability and
+        #: for tests that must prove a specific code path executed.
+        self.maintenance_stats = {event: 0 for event in self._EVENTS}
+
+    def _tick(self, event):
+        self.maintenance_stats[event] += 1
+
+    # ------------------------------------------------------------------ descent
+
+    def _descend(self, key):
+        """Return ``(path, leaf)`` with the leaf pinned.
+
+        ``path`` holds ``(page_id, child_index)`` pairs for the internal
+        nodes on the route (those pages are left unpinned).
+        """
+        if not self.root_id:
+            return [], None
+        path = []
+        page = self.pool.fetch(self.root_id)
+        while isinstance(page, XRInternalPage):
+            index = page.child_index_for(key)
+            child_id = page.children[index]
+            path.append((page.page_id, index))
+            self.pool.unpin(page)
+            page = self.pool.fetch(child_id)
+        return path, page
+
+    def search(self, key):
+        """Return the entry whose start equals ``key``, or None."""
+        _path, leaf = self._descend(key)
+        if leaf is None:
+            return None
+        try:
+            starts = [r.start for r in leaf.records]
+            slot = bisect_left(starts, key)
+            if slot < len(starts) and starts[slot] == key:
+                return leaf.records[slot]
+            return None
+        finally:
+            self.pool.unpin(leaf)
+
+    def seek(self, key):
+        """Cursor at the first entry with ``start >= key``."""
+        _path, leaf = self._descend(key)
+        if leaf is None:
+            return BPlusCursor(self.pool, 0, 0)
+        slot = bisect_left([r.start for r in leaf.records], key)
+        leaf_id = leaf.page_id
+        self.pool.unpin(leaf)
+        return BPlusCursor(self.pool, leaf_id, slot)
+
+    def seek_after(self, key):
+        """Cursor at the first entry with ``start > key`` — the open-ended
+        range-probe variant of FindDescendants used by XR-stack to skip
+        descendants (Section 5.2)."""
+        _path, leaf = self._descend(key)
+        if leaf is None:
+            return BPlusCursor(self.pool, 0, 0)
+        slot = bisect_right([r.start for r in leaf.records], key)
+        leaf_id = leaf.page_id
+        self.pool.unpin(leaf)
+        return BPlusCursor(self.pool, leaf_id, slot)
+
+    def first(self):
+        """Cursor at the smallest key."""
+        if not self.root_id:
+            return BPlusCursor(self.pool, 0, 0)
+        page = self.pool.fetch(self.root_id)
+        while isinstance(page, XRInternalPage):
+            child_id = page.children[0]
+            self.pool.unpin(page)
+            page = self.pool.fetch(child_id)
+        leaf_id = page.page_id
+        self.pool.unpin(page)
+        return BPlusCursor(self.pool, leaf_id, 0)
+
+    def items(self):
+        """Yield every indexed entry in start order."""
+        cursor = self.first()
+        while not cursor.at_end:
+            yield cursor.current
+            cursor.advance()
+
+    # ----------------------------------------------- Section 5.1 search operations
+
+    def find_descendants(self, ancestor_start, ancestor_end, counter=None,
+                         required_level=None):
+        """Algorithm 3: all indexed elements nested inside the given region.
+
+        A plain range query ``ancestor_start < s < ancestor_end`` over the
+        leaf level; stab lists are never touched.  ``required_level``
+        restricts the result to children (FindChildren, Section 5.3).
+        Worst-case I/O is ``O(log_F N + R/B)`` (Theorem 3).
+        """
+        results = []
+        cursor = self.seek_after(ancestor_start)
+        while not cursor.at_end:
+            entry = cursor.current
+            if counter is not None:
+                counter.count(1)
+            if entry.start >= ancestor_end:
+                break
+            if required_level is None or entry.level == required_level:
+                results.append(entry)
+            cursor.advance()
+        return results
+
+    def find_ancestors(self, point, counter=None, after_start=None,
+                       required_level=None):
+        """Algorithm 4: all indexed elements stabbed by ``point``.
+
+        During the single root-to-leaf descent the stab list of every
+        internal node on the path is searched (Algorithm 5, via the stored
+        ``(ps, pe)`` guards and the ps directory); at the leaf, elements
+        stabbed by ``point`` whose ``InStabList`` flag is off are output.
+        Worst-case I/O is ``O(log_F N + R)`` (Theorem 4).
+
+        ``after_start`` keeps only ancestors with ``start > after_start`` —
+        the variant XR-stack uses to fetch "ancestors after the stack top".
+        ``required_level`` restricts to the parent (FindParent, Section 5.3).
+        """
+        if not self.root_id:
+            return []
+        results = []
+        page = self.pool.fetch(self.root_id)
+        while isinstance(page, XRInternalPage):
+            stab = StabList(self.pool, page)
+            results.extend(stab.collect_stabbed(point, counter, after_start))
+            index = page.child_index_for(point)
+            child_id = page.children[index]
+            self.pool.unpin(page)
+            page = self.pool.fetch(child_id)
+        # S2: only records before the query point can be stabbed.  The slot
+        # is located by binary search within the (already fetched) page; the
+        # scan counter charges each produced ancestor, not the in-page
+        # filtering — in-page work is CPU, not a list scan, which is how the
+        # paper's XR counts stay below the merge baselines'.
+        slot = bisect_left([r.start for r in page.records], point)
+        for entry in page.records[:slot]:
+            if not entry.in_stab_list and entry.start < point < entry.end:
+                if after_start is not None and entry.start <= after_start:
+                    continue
+                if counter is not None:
+                    counter.count(1)
+                results.append(entry)
+        self.pool.unpin(page)
+        results.sort(key=lambda r: r.start)
+        if required_level is not None:
+            results = [r for r in results if r.level == required_level]
+        return results
+
+    # --------------------------------------------------- Algorithm 1: insertion
+
+    def insert(self, entry):
+        """Insert one element entry (Algorithm 1)."""
+        entry = entry.with_flag(False)
+        if not self.root_id:
+            page = self.pool.new_page(XRLeafPage([entry]))
+            self.root_id = page.page_id
+            self.height = 1
+            self.size = 1
+            self.pool.unpin(page, dirty=True)
+            return
+        # I1: navigate down, remembering the highest internal node that
+        # stabs E.  The stab-list insertion itself is deferred until the
+        # duplicate-key check at the leaf succeeds, so a rejected insert
+        # leaves no trace (the owner node is still buffer-resident then).
+        path = []
+        owner_id = None
+        page = self.pool.fetch(self.root_id)
+        while isinstance(page, XRInternalPage):
+            if owner_id is None and page.stabs(entry.start, entry.end):
+                owner_id = page.page_id
+            index = page.child_index_for(entry.start)
+            child_id = page.children[index]
+            path.append((page.page_id, index))
+            self.pool.unpin(page)
+            page = self.pool.fetch(child_id)
+        leaf = page
+        entry = entry.with_flag(owner_id is not None)
+        starts = [r.start for r in leaf.records]
+        slot = bisect_left(starts, entry.start)
+        if slot < len(starts) and starts[slot] == entry.start:
+            self.pool.unpin(leaf)
+            raise XRTreeError("duplicate key %d" % entry.start)
+        if owner_id is not None:
+            owner = self.pool.fetch(owner_id)
+            StabList(self.pool, owner).insert(entry)
+            self.pool.unpin(owner, dirty=True)
+        leaf.records.insert(slot, entry)
+        self.size += 1
+        if len(leaf.records) <= self.leaf_capacity:
+            self.pool.unpin(leaf, dirty=True)
+            return
+        # I22: split the leaf and give up a new key together with StabSet'.
+        self._tick("leaf_splits")
+        separator, right_id, stab_set = self._split_leaf(leaf)
+        self.pool.unpin(leaf, dirty=True)
+        self._insert_into_parent(path, separator, right_id, stab_set)
+
+    def _choose_separator(self, left_last_start, right_first_start):
+        """Split-key choice between two leaf runs (Section 3.2)."""
+        if (self.optimize_split_keys
+                and right_first_start - 1 > left_last_start):
+            return right_first_start - 1
+        return right_first_start
+
+    def _split_leaf(self, leaf):
+        """Split an overfull leaf; returns ``(separator, right_id, StabSet')``.
+
+        Elements of either half that the new separator newly stabs get their
+        ``InStabList`` flags turned on and are collected into ``StabSet'``
+        for insertion into the parent's stab list (step I22).
+        """
+        mid = len(leaf.records) // 2
+        right_records = leaf.records[mid:]
+        leaf.records = leaf.records[:mid]
+        separator = self._choose_separator(
+            leaf.records[-1].start, right_records[0].start
+        )
+        stab_set = []
+        for page_records in (leaf.records, right_records):
+            for index, record in enumerate(page_records):
+                if record.start > separator:
+                    break
+                if not record.in_stab_list and record.end >= separator:
+                    flagged = record.with_flag(True)
+                    page_records[index] = flagged
+                    stab_set.append(flagged)
+        right_page = self.pool.new_page(XRLeafPage(right_records, leaf.next_id))
+        leaf.next_id = right_page.page_id
+        right_id = right_page.page_id
+        self.pool.unpin(right_page, dirty=True)
+        return separator, right_id, stab_set
+
+    def _insert_into_parent(self, path, key, right_child_id, stab_set):
+        """Step I3: propagate ``(key, pointer, StabSet')`` up the tree."""
+        while path:
+            parent_id, index = path.pop()
+            parent = self.pool.fetch(parent_id)
+            parent.keys.insert(index, key)
+            parent.ps.insert(index, NIL)
+            parent.pe.insert(index, NIL)
+            parent.children.insert(index + 1, right_child_id)
+            stab = StabList(self.pool, parent)
+            # The new key may take over the head of its right neighbour's
+            # PSL (membership is derived from keys); refresh both.
+            self._refresh_key_pspe(parent, stab, (index, index + 1))
+            for record in stab_set:
+                stab.insert(record)
+            if len(parent.keys) <= self.internal_capacity:
+                self.pool.unpin(parent, dirty=True)
+                return
+            # I32: split the internal node; its stab list splits with it and
+            # elements stabbed by the key given up travel upward (Figure 5).
+            self._tick("internal_splits")
+            mid = len(parent.keys) // 2
+            up_key = parent.keys[mid]
+            up_stabs = stab.extract_stabbed(up_key)
+            right_head, right_dir, right_count = stab.split_after(up_key)
+            right_node = XRInternalPage(
+                parent.keys[mid + 1 :], parent.children[mid + 1 :],
+                sl_head=right_head, sl_dir=right_dir, sl_count=right_count,
+            )
+            parent.keys = parent.keys[:mid]
+            parent.children = parent.children[: mid + 1]
+            right_page = self.pool.new_page(right_node)
+            StabList(self.pool, parent).refresh_pspe()
+            StabList(self.pool, right_page).refresh_pspe()
+            key = up_key
+            right_child_id = right_page.page_id
+            stab_set = up_stabs
+            self.pool.unpin(right_page, dirty=True)
+            self.pool.unpin(parent, dirty=True)
+        # I4: grow the tree taller.
+        self._tick("root_splits")
+        new_root = self.pool.new_page(
+            XRInternalPage([key], [self.root_id, right_child_id])
+        )
+        stab = StabList(self.pool, new_root)
+        for record in stab_set:
+            stab.insert(record)
+        self.root_id = new_root.page_id
+        self.height += 1
+        self.pool.unpin(new_root, dirty=True)
+
+    def _refresh_key_pspe(self, node, stab, indices):
+        """Recompute ``(ps, pe)`` for the given key indices from the chain."""
+        for j in indices:
+            if j >= len(node.keys):
+                continue
+            head = None
+            for record in stab.iter_psl(j):
+                head = record
+                break
+            if head is None:
+                node.ps[j] = NIL
+                node.pe[j] = NIL
+            else:
+                node.ps[j] = head.start
+                node.pe[j] = head.end
+
+    # ---------------------------------------------------- Algorithm 2: deletion
+
+    def delete(self, key):
+        """Delete the entry whose start equals ``key`` (Algorithm 2).
+
+        Returns the removed entry, or None when absent.
+        """
+        if not self.root_id:
+            return None
+        path, leaf = self._descend(key)
+        starts = [r.start for r in leaf.records]
+        slot = bisect_left(starts, key)
+        if slot >= len(starts) or starts[slot] != key:
+            self.pool.unpin(leaf)
+            return None
+        entry = leaf.records[slot]
+        # D1: remove E from the stab list of the node that owns it.
+        if entry.in_stab_list:
+            self._remove_from_owner(path, entry)
+        leaf.records.pop(slot)
+        self.size -= 1
+        self._rebalance_leaf(path, leaf)
+        return entry
+
+    def _remove_from_owner(self, path, entry):
+        """Find the highest path node stabbing ``entry`` and delete it there."""
+        for page_id, _index in path:
+            page = self.pool.fetch(page_id)
+            if page.stabs(entry.start, entry.end):
+                StabList(self.pool, page).delete(entry.start)
+                self.pool.unpin(page, dirty=True)
+                return
+            self.pool.unpin(page)
+        raise XRTreeError(
+            "flagged entry (%d, %d) found in no stab list on its path"
+            % (entry.start, entry.end)
+        )
+
+    def _push_down_from(self, node, entry):
+        """Re-home ``entry`` below ``node``: insert it into the stab list of
+        the highest stabbing node in the subtree, or clear its leaf flag.
+
+        Implements the "reinsert" of step D31: after a key change, elements
+        no longer stabbed by a node sink to the highest node below that still
+        stabs them (possibly all the way to a leaf flag reset).
+        """
+        self._tick("push_downs")
+        index = node.child_index_for(entry.start)
+        page = self.pool.fetch(node.children[index])
+        while isinstance(page, XRInternalPage):
+            if page.stabs(entry.start, entry.end):
+                StabList(self.pool, page).insert(entry)
+                self.pool.unpin(page, dirty=True)
+                return
+            child_id = page.children[page.child_index_for(entry.start)]
+            self.pool.unpin(page)
+            page = self.pool.fetch(child_id)
+        starts = [r.start for r in page.records]
+        slot = bisect_left(starts, entry.start)
+        if slot >= len(starts) or starts[slot] != entry.start:
+            self.pool.unpin(page)
+            raise XRTreeError("entry %d missing from its leaf" % entry.start)
+        page.records[slot] = page.records[slot].with_flag(False)
+        self.pool.unpin(page, dirty=True)
+
+    def _recheck_stab_list(self, node):
+        """Drop and re-home every stab record no longer stabbed by ``node``.
+
+        Called after the node's key set changed (key removal/replacement).
+        """
+        stab = StabList(self.pool, node)
+        orphans = [
+            record for record in stab.iter_all()
+            if not node.stabs(record.start, record.end)
+        ]
+        for record in orphans:
+            stab.delete(record.start)
+        stab.refresh_pspe()
+        for record in orphans:
+            self._push_down_from(node, record)
+
+    def _absorb_newly_stabbed(self, parent, leaf_pages):
+        """Flag and lift leaf elements newly stabbed by a changed separator.
+
+        After a separator key change only elements of the two involved leaves
+        can become newly stabbed (their flags are off, so no other key
+        anywhere stabs them); they enter ``SL(parent)`` — the only node
+        holding the new key.
+        """
+        stab = StabList(self.pool, parent)
+        for leaf in leaf_pages:
+            changed = False
+            for index, record in enumerate(leaf.records):
+                if not record.in_stab_list and parent.stabs(record.start,
+                                                            record.end):
+                    flagged = record.with_flag(True)
+                    leaf.records[index] = flagged
+                    stab.insert(flagged)
+                    changed = True
+                    self._tick("absorptions")
+            if changed:
+                leaf.mark_dirty()
+
+    def _min_leaf(self):
+        return self.leaf_capacity // 2
+
+    def _min_internal(self):
+        return self.internal_capacity // 2
+
+    def _rebalance_leaf(self, path, leaf):
+        """Steps D2x: redistribute or merge an underfull leaf."""
+        if not path:
+            if not leaf.records:
+                self.pool.free_page(leaf)
+                self.root_id = 0
+                self.height = 0
+            else:
+                self.pool.unpin(leaf, dirty=True)
+            return
+        if len(leaf.records) >= self._min_leaf():
+            self.pool.unpin(leaf, dirty=True)
+            return
+        parent_id, index = path[-1]
+        parent = self.pool.fetch(parent_id)
+        # D22: redistribution with a sibling, preferring the right one.
+        if index + 1 < len(parent.children):
+            sibling = self.pool.fetch(parent.children[index + 1])
+            if len(sibling.records) > self._min_leaf():
+                self._tick("leaf_borrows")
+                leaf.records.append(sibling.records.pop(0))
+                self._replace_separator(
+                    parent, index, leaf, sibling,
+                    self._choose_separator(leaf.records[-1].start,
+                                           sibling.records[0].start),
+                )
+                self.pool.unpin(sibling, dirty=True)
+                self.pool.unpin(parent, dirty=True)
+                self.pool.unpin(leaf, dirty=True)
+                return
+            self.pool.unpin(sibling)
+        if index > 0:
+            sibling = self.pool.fetch(parent.children[index - 1])
+            if len(sibling.records) > self._min_leaf():
+                self._tick("leaf_borrows")
+                leaf.records.insert(0, sibling.records.pop())
+                self._replace_separator(
+                    parent, index - 1, sibling, leaf,
+                    self._choose_separator(sibling.records[-1].start,
+                                           leaf.records[0].start),
+                )
+                self.pool.unpin(sibling, dirty=True)
+                self.pool.unpin(parent, dirty=True)
+                self.pool.unpin(leaf, dirty=True)
+                return
+            self.pool.unpin(sibling)
+        # D23: merge with a sibling (into the left node of the pair).
+        self._tick("leaf_merges")
+        if index > 0:
+            left = self.pool.fetch(parent.children[index - 1])
+            left.records.extend(leaf.records)
+            left.next_id = leaf.next_id
+            self.pool.free_page(leaf)
+            self.pool.unpin(left, dirty=True)
+            drop_index = index - 1
+        else:
+            right = self.pool.fetch(parent.children[index + 1])
+            leaf.records.extend(right.records)
+            leaf.next_id = right.next_id
+            self.pool.free_page(right)
+            self.pool.unpin(leaf, dirty=True)
+            drop_index = index
+        self.pool.unpin(parent)
+        self._delete_from_internal(path[:-1], parent_id, drop_index)
+
+    def _replace_separator(self, parent, key_index, left_leaf, right_leaf,
+                           new_key):
+        """Replace ``parent.keys[key_index]`` after a leaf redistribution.
+
+        Handles both stab-list consequences (Section 4.2): elements of
+        ``SL(parent)`` no longer stabbed sink down (to leaf flags), and leaf
+        elements newly stabbed by the new separator rise into ``SL(parent)``.
+        """
+        if parent.keys[key_index] == new_key:
+            return
+        parent.keys[key_index] = new_key
+        parent.mark_dirty()
+        self._recheck_stab_list(parent)
+        self._absorb_newly_stabbed(parent, (left_leaf, right_leaf))
+        StabList(self.pool, parent).refresh_pspe()
+
+    def _delete_from_internal(self, path, page_id, key_index):
+        """Step D3: remove ``keys[key_index]``/``children[key_index + 1]``
+        from an internal node, then rebalance upward as needed."""
+        page = self.pool.fetch(page_id)
+        page.keys.pop(key_index)
+        page.ps.pop(key_index)
+        page.pe.pop(key_index)
+        page.children.pop(key_index + 1)
+        # D31: re-home stab records the removed key alone was stabbing.
+        self._recheck_stab_list(page)
+        if not path:
+            if not page.keys:
+                # D4: shorten the tree. The stab list must be empty now —
+                # a node with no keys stabs nothing.
+                self._tick("root_shrinks")
+                new_root_id = page.children[0]
+                if page.sl_count:
+                    raise XRTreeError("empty root still owns stab records")
+                self.pool.free_page(page)
+                self.root_id = new_root_id
+                self.height -= 1
+            else:
+                self.pool.unpin(page, dirty=True)
+            return
+        if len(page.keys) >= self._min_internal():
+            self.pool.unpin(page, dirty=True)
+            return
+        parent_id, index = path[-1]
+        parent = self.pool.fetch(parent_id)
+        # D32: redistribution between internal nodes.
+        if index + 1 < len(parent.children):
+            sibling = self.pool.fetch(parent.children[index + 1])
+            if len(sibling.keys) > self._min_internal():
+                self._tick("internal_rotations")
+                self._rotate_internal_left(parent, index, page, sibling)
+                self.pool.unpin(sibling, dirty=True)
+                self.pool.unpin(parent, dirty=True)
+                self.pool.unpin(page, dirty=True)
+                return
+            self.pool.unpin(sibling)
+        if index > 0:
+            sibling = self.pool.fetch(parent.children[index - 1])
+            if len(sibling.keys) > self._min_internal():
+                self._tick("internal_rotations")
+                self._rotate_internal_right(parent, index - 1, sibling, page)
+                self.pool.unpin(sibling, dirty=True)
+                self.pool.unpin(parent, dirty=True)
+                self.pool.unpin(page, dirty=True)
+                return
+            self.pool.unpin(sibling)
+        # D33: merge internal nodes (into the left node of the pair).
+        self._tick("internal_merges")
+        if index > 0:
+            left = self.pool.fetch(parent.children[index - 1])
+            self._merge_internal(parent, index - 1, left, page)
+            self.pool.unpin(left, dirty=True)
+            drop_index = index - 1
+        else:
+            right = self.pool.fetch(parent.children[index + 1])
+            self._merge_internal(parent, index, page, right)
+            self.pool.unpin(page, dirty=True)
+            drop_index = index
+        self.pool.unpin(parent)
+        self._delete_from_internal(path[:-1], parent_id, drop_index)
+
+    def _rotate_internal_left(self, parent, sep_index, page, right_sibling):
+        """Borrow the right sibling's first key through the parent.
+
+        The separator sinks into ``page``; the sibling's first key rises into
+        the parent.  Elements stabbed by the rising key move up into
+        ``SL(parent)`` from both children; elements the parent no longer
+        stabs sink (Section 4.2's redistribution rule).
+        """
+        up_key = right_sibling.keys[0]
+        down_key = parent.keys[sep_index]
+        page.keys.append(down_key)
+        page.ps.append(NIL)
+        page.pe.append(NIL)
+        page.children.append(right_sibling.children.pop(0))
+        right_sibling.keys.pop(0)
+        right_sibling.ps.pop(0)
+        right_sibling.pe.pop(0)
+        parent.keys[sep_index] = up_key
+        self._after_internal_rotation(parent, page, right_sibling, up_key)
+
+    def _rotate_internal_right(self, parent, sep_index, left_sibling, page):
+        """Borrow the left sibling's last key through the parent."""
+        up_key = left_sibling.keys[-1]
+        down_key = parent.keys[sep_index]
+        page.keys.insert(0, down_key)
+        page.ps.insert(0, NIL)
+        page.pe.insert(0, NIL)
+        page.children.insert(0, left_sibling.children.pop())
+        left_sibling.keys.pop()
+        left_sibling.ps.pop()
+        left_sibling.pe.pop()
+        parent.keys[sep_index] = up_key
+        self._after_internal_rotation(parent, page, left_sibling, up_key)
+
+    def _after_internal_rotation(self, parent, page, sibling, up_key):
+        """Shared stab maintenance after an internal-key rotation.
+
+        "SL(k') should be removed from the two internal nodes and inserted
+        into SL(P)": records either child holds that the risen key stabs move
+        to the parent; then every node re-homes records it no longer stabs.
+        """
+        parent_stab = StabList(self.pool, parent)
+        for child in (page, sibling):
+            child_stab = StabList(self.pool, child)
+            for record in child_stab.extract_stabbed(up_key):
+                parent_stab.insert(record)
+        # Re-home from the parent first (its key set changed), then fix the
+        # children, whose membership rules also changed.
+        self._recheck_stab_list(parent)
+        self._recheck_stab_list(page)
+        self._recheck_stab_list(sibling)
+        StabList(self.pool, parent).refresh_pspe()
+        StabList(self.pool, page).refresh_pspe()
+        StabList(self.pool, sibling).refresh_pspe()
+        parent.mark_dirty()
+        page.mark_dirty()
+        sibling.mark_dirty()
+
+    def _merge_internal(self, parent, sep_index, left, right):
+        """Merge ``right`` into ``left`` around ``parent.keys[sep_index]``.
+
+        The separator sinks into the merged node; the stab lists are merged
+        "by linking SL(I) to SL(S)" (Section 4.2).  The caller removes the
+        parent entry afterwards via :meth:`_delete_from_internal` recursion.
+        """
+        down_key = parent.keys[sep_index]
+        left.keys.append(down_key)
+        left.ps.append(NIL)
+        left.pe.append(NIL)
+        left.keys.extend(right.keys)
+        left.ps.extend(right.ps)
+        left.pe.extend(right.pe)
+        left.children.extend(right.children)
+        StabList(self.pool, left).merge_from(right)
+        self.pool.free_page(right)
+        StabList(self.pool, left).refresh_pspe()
+        left.mark_dirty()
+        # Records the parent held for the sunken separator are re-homed by
+        # the _recheck_stab_list call inside _delete_from_internal.
+
+    # ----------------------------------------------------------------- bulk load
+
+    def bulk_load(self, entries, fill_factor=1.0):
+        """Build the tree bottom-up from start-sorted unique ``entries``.
+
+        The skeleton (leaf runs and internal key arrays) is planned in
+        memory, each element is assigned to the stab list of the top-most
+        node that stabs it (or to none), and the pages are then materialized
+        through the buffer pool.
+        """
+        if self.root_id:
+            raise XRTreeError("bulk_load requires an empty tree")
+        if not 0.0 < fill_factor <= 1.0:
+            raise ValueError("fill factor must be in (0, 1]")
+        entries = [e.with_flag(False) for e in entries]
+        for left, right in zip(entries, entries[1:]):
+            if right.start <= left.start:
+                raise XRTreeError("bulk_load input must be sorted on start")
+        if not entries:
+            return
+        plan = _BulkPlan(self, entries, fill_factor)
+        plan.assign_stabs()
+        self.root_id = plan.materialize()
+        self.height = len(plan.levels) + 1
+        self.size = len(entries)
+
+
+class _BulkPlan:
+    """In-memory skeleton used by :meth:`XRTree.bulk_load`."""
+
+    def __init__(self, tree, entries, fill_factor):
+        self.tree = tree
+        self.entries = entries
+        per_leaf = max(2, int(tree.leaf_capacity * fill_factor))
+        per_internal = max(2, int(tree.internal_capacity * fill_factor))
+        self.leaves = [
+            list(entries[i : i + per_leaf])
+            for i in range(0, len(entries), per_leaf)
+        ]
+        # Separator keys between consecutive leaves (split-key optimization
+        # applies here exactly as during dynamic splits).
+        boundary_keys = [
+            tree._choose_separator(left[-1].start, right[0].start)
+            for left, right in zip(self.leaves, self.leaves[1:])
+        ]
+        # levels[0] is the lowest internal level; each node is a dict with
+        # "keys", "children" (indices into the level below) and "stabs".
+        self.levels = []
+        child_count = len(self.leaves)
+        keys = boundary_keys
+        while child_count > 1:
+            nodes = []
+            child = 0
+            next_keys = []
+            while child < child_count:
+                take = min(per_internal + 1, child_count - child)
+                if child_count - child - take == 1:
+                    take -= 1  # never leave a dangling single child
+                node_keys = keys[child : child + take - 1]
+                nodes.append({
+                    "keys": list(node_keys),
+                    "children": list(range(child, child + take)),
+                    "stabs": [],
+                })
+                child += take
+                if child < child_count:
+                    next_keys.append(keys[child - 1])
+            self.levels.append(nodes)
+            keys = next_keys
+            child_count = len(nodes)
+        if not self.levels and len(self.leaves) == 1:
+            self.levels = []
+
+    def assign_stabs(self):
+        """Assign each element to the top-most node whose key stabs it."""
+        if not self.levels:
+            return
+        for position, entry in enumerate(self.entries):
+            level_index = len(self.levels) - 1
+            node = self.levels[level_index][0]
+            while True:
+                keys = node["keys"]
+                j = bisect_left(keys, entry.start)
+                if j < len(keys) and keys[j] <= entry.end:
+                    node["stabs"].append(entry.with_flag(True))
+                    self._flag_entry(position)
+                    break
+                child = bisect_right(keys, entry.start)
+                child_index = node["children"][child]
+                level_index -= 1
+                if level_index < 0:
+                    break
+                node = self.levels[level_index][child_index]
+
+    def _flag_entry(self, position):
+        entry = self.entries[position].with_flag(True)
+        self.entries[position] = entry
+        per_leaf = len(self.leaves[0])
+        leaf_index = position // per_leaf
+        self.leaves[leaf_index][position - leaf_index * per_leaf] = entry
+
+    def materialize(self):
+        """Write all pages bottom-up; returns the root page id."""
+        from repro.indexes.xrtree.pages import StabDirectoryPage, StabListPage
+
+        pool = self.tree.pool
+        leaf_ids = []
+        previous = None
+        for records in self.leaves:
+            page = pool.new_page(XRLeafPage(records))
+            if previous is not None:
+                previous.next_id = page.page_id
+                pool.unpin(previous, dirty=True)
+            previous = page
+            leaf_ids.append(page.page_id)
+        if previous is not None:
+            pool.unpin(previous, dirty=True)
+        child_ids = leaf_ids
+        for level in self.levels:
+            level_ids = []
+            for node in level:
+                sl_head, sl_dir = self._write_stab_chain(node["stabs"])
+                page = pool.new_page(
+                    XRInternalPage(
+                        node["keys"],
+                        [child_ids[c] for c in node["children"]],
+                        sl_head=sl_head, sl_dir=sl_dir,
+                        sl_count=len(node["stabs"]),
+                    )
+                )
+                self._set_pspe(page, node["stabs"])
+                level_ids.append(page.page_id)
+                pool.unpin(page, dirty=True)
+            child_ids = level_ids
+        return child_ids[0]
+
+    def _write_stab_chain(self, stabs):
+        from repro.indexes.xrtree.pages import StabDirectoryPage, StabListPage
+
+        pool = self.tree.pool
+        if not stabs:
+            return 0, 0
+        capacity = StabListPage.capacity(pool.page_size)
+        directory = []
+        previous = None
+        for i in range(0, len(stabs), capacity):
+            chunk = stabs[i : i + capacity]
+            page = pool.new_page(StabListPage(chunk))
+            directory.append((chunk[0].start, page.page_id))
+            if previous is not None:
+                previous.next_id = page.page_id
+                pool.unpin(previous, dirty=True)
+            previous = page
+        pool.unpin(previous, dirty=True)
+        dir_id = 0
+        if len(directory) > 1:
+            dir_page = pool.new_page(StabDirectoryPage(directory))
+            dir_id = dir_page.page_id
+            pool.unpin(dir_page, dirty=True)
+        return directory[0][1], dir_id
+
+    @staticmethod
+    def _set_pspe(node, stabs):
+        node.ps = [NIL] * len(node.keys)
+        node.pe = [NIL] * len(node.keys)
+        for record in stabs:
+            j = node.primary_key_index(record.start)
+            if j is not None and node.ps[j] == NIL:
+                node.ps[j] = record.start
+                node.pe[j] = record.end

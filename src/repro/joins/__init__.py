@@ -1,0 +1,37 @@
+"""Structural join algorithms (Section 2.2, 5.2).
+
+A structural join reports every pair ``(a, d)`` with ``a`` from the ancestor
+list and ``d`` from the descendant list such that ``a`` contains ``d``
+(ancestor-descendant) or is its parent (parent-child).  Four algorithms are
+provided, matching the paper's Table 1 plus one extra merge baseline:
+
+* :func:`stack_tree_join` — Stack-Tree-Desc, the "no-index" baseline;
+* :func:`mpmgjn_join` — multi-predicate merge join (Zhang et al.);
+* :func:`bplus_join` — Anc_Des_B+ over B+-tree indexed inputs;
+* :func:`xr_stack_join` — the paper's XR-stack (Algorithm 6) over XR-trees.
+"""
+
+from repro.joins.base import JoinStats, nested_loop_join
+from repro.joins.bplus_join import bplus_join
+from repro.joins.bplus_variants import (
+    bplus_psp_join,
+    bplus_sp_join,
+    with_containment_pointers,
+)
+from repro.joins.mpmgjn import mpmgjn_join
+from repro.joins.stack_tree import stack_tree_join
+from repro.joins.stack_tree_anc import stack_tree_anc_join
+from repro.joins.xr_stack import xr_stack_join
+
+__all__ = [
+    "JoinStats",
+    "bplus_join",
+    "bplus_psp_join",
+    "bplus_sp_join",
+    "mpmgjn_join",
+    "nested_loop_join",
+    "stack_tree_anc_join",
+    "stack_tree_join",
+    "with_containment_pointers",
+    "xr_stack_join",
+]

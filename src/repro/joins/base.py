@@ -1,0 +1,89 @@
+"""Shared pieces of the join algorithms: statistics, match predicates, the
+output sink and a brute-force oracle used by the tests."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class JoinStats:
+    """Counters for one join run.
+
+    ``elements_scanned`` is the paper's headline metric (Section 6.1): the
+    total number of element entries examined, including index probes and stab
+    list scans.  ``pairs`` counts output tuples.  The object doubles as the
+    scan counter handed to index operations (it exposes ``count``).
+    """
+
+    elements_scanned: int = 0
+    pairs: int = 0
+
+    def count(self, n=1):
+        self.elements_scanned += n
+
+    def merge(self, other):
+        self.elements_scanned += other.elements_scanned
+        self.pairs += other.pairs
+
+
+@dataclass
+class JoinSink:
+    """Collects (or merely counts) output pairs.
+
+    ``parent_child`` restricts output to parent-child pairs by the level
+    condition ``a.level == d.level - 1`` (Section 2.2); ``collect=False``
+    keeps only the count, which the large benchmark sweeps use.
+    """
+
+    stats: JoinStats
+    parent_child: bool = False
+    collect: bool = True
+    pairs: list = field(default_factory=list)
+
+    def emit(self, ancestor, descendant):
+        if ancestor.doc_id != descendant.doc_id:
+            return
+        if ancestor.start >= descendant.start:
+            # Overlapping input sets (e.g. the employee//employee self-join)
+            # put the descendant's own element on the stack as a candidate
+            # for *later* descendants; it is not its own ancestor.
+            return
+        if self.parent_child and ancestor.level != descendant.level - 1:
+            return
+        self.stats.pairs += 1
+        if self.collect:
+            self.pairs.append((ancestor, descendant))
+
+    def emit_stack(self, stack, descendant):
+        for frame in stack:
+            self.emit(frame, descendant)
+
+
+def contains(ancestor, descendant):
+    """Region containment: ``a.start < d.start`` and ``d.end < a.end``."""
+    return (
+        ancestor.doc_id == descendant.doc_id
+        and ancestor.start < descendant.start
+        and descendant.end < ancestor.end
+    )
+
+
+def nested_loop_join(alist, dlist, parent_child=False):
+    """O(|A| * |D|) reference join used as the oracle in tests.
+
+    Accepts any iterables of element entries; returns a sorted list of
+    ``(a, d)`` pairs.
+    """
+    pairs = []
+    ancestors = list(alist)
+    for descendant in dlist:
+        for ancestor in ancestors:
+            if contains(ancestor, descendant):
+                if not parent_child or ancestor.level == descendant.level - 1:
+                    pairs.append((ancestor, descendant))
+    pairs.sort(key=lambda pair: (pair[1].start, pair[0].start))
+    return pairs
+
+
+def sort_pairs(pairs):
+    """Canonical pair order (by descendant start, then ancestor start)."""
+    return sorted(pairs, key=lambda pair: (pair[1].start, pair[0].start))

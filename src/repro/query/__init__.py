@@ -1,0 +1,64 @@
+"""Path-expression evaluation over XR-tree indexed documents.
+
+This is the paper's stated future work (Section 7): "query evaluation
+strategies for complex XML queries (i.e. a combination of multiple structural
+joins) over XML data on which proper XR-tree indexes have been built."
+
+A path like ``//department//employee/name`` is parsed into steps
+(:mod:`repro.query.path`) and evaluated as a pipeline of structural joins
+(:mod:`repro.query.engine`), with XR-tree indexes built per element set and
+reused across queries.
+"""
+
+from repro.query.engine import PathQueryEngine, QueryResult
+from repro.query.path import (
+    AttributePredicate,
+    Axis,
+    PathExpression,
+    PathStep,
+    parse_path,
+)
+from repro.query.pathstack import (
+    PathSolutions,
+    evaluate_path_stack,
+    path_stack,
+)
+from repro.query.estimate import JoinEstimate, estimate_join
+from repro.query.planner import (
+    EstimatingPlanner,
+    GreedyPlanner,
+    LeftToRightPlanner,
+    execute_plan,
+)
+from repro.query.twigjoin import (
+    TwigNode,
+    TwigSolutions,
+    evaluate_twig,
+    twig_from_path,
+    twig_join,
+    twig_stack_join,
+)
+
+__all__ = [
+    "EstimatingPlanner",
+    "GreedyPlanner",
+    "JoinEstimate",
+    "estimate_join",
+    "LeftToRightPlanner",
+    "execute_plan",
+    "TwigNode",
+    "TwigSolutions",
+    "evaluate_twig",
+    "twig_from_path",
+    "twig_join",
+    "AttributePredicate",
+    "Axis",
+    "PathExpression",
+    "PathQueryEngine",
+    "PathSolutions",
+    "PathStep",
+    "QueryResult",
+    "evaluate_path_stack",
+    "parse_path",
+    "path_stack",
+]

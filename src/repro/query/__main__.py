@@ -1,0 +1,96 @@
+"""Interactive path-query runner.
+
+Usage::
+
+    python -m repro.query "//employee[email]/name" --file doc.xml
+    python -m repro.query "//employee//name" --generate 5000
+    python -m repro.query "//employee//name" --generate 5000 --holistic
+
+Evaluates the path with the XR-stack join pipeline (default), the no-index
+pipeline (``--strategy stack-tree``) or the holistic PathStack executor
+(``--holistic``, linear paths only) and prints matches plus execution
+statistics.
+"""
+
+import argparse
+import sys
+
+from repro.query.engine import PathQueryEngine
+from repro.query.pathstack import evaluate_path_stack
+from repro.xmldata.dtd import CONFERENCE_DTD, DEPARTMENT_DTD
+from repro.xmldata.generator import XmlGenerator
+from repro.xmldata.parser import parse_document
+from repro.xmldata.stats import document_stats
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="python -m repro.query")
+    parser.add_argument("path", help="path expression, e.g. //a//b[c]")
+    parser.add_argument("--file", help="XML file to query")
+    parser.add_argument("--generate", type=int, metavar="N",
+                        help="query a generated Department document of ~N "
+                             "elements instead of a file")
+    parser.add_argument("--dtd", choices=("department", "conference"),
+                        default="department")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--strategy", choices=("xr-stack", "stack-tree"),
+                        default="xr-stack")
+    parser.add_argument("--holistic", action="store_true",
+                        help="use the PathStack executor (linear paths)")
+    parser.add_argument("--twig-stack", action="store_true",
+                        help="use the getNext-optimized TwigStack executor")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the engine's plan before executing")
+    parser.add_argument("--limit", type=int, default=10,
+                        help="matches to print (default 10)")
+    args = parser.parse_args(argv)
+
+    if bool(args.file) == bool(args.generate):
+        parser.error("choose exactly one of --file or --generate")
+    if args.file:
+        with open(args.file) as handle:
+            document = parse_document(handle.read())
+    else:
+        dtd = DEPARTMENT_DTD if args.dtd == "department" else CONFERENCE_DTD
+        document = XmlGenerator(dtd, seed=args.seed).generate(args.generate)
+    print(document_stats(document).describe())
+
+    if args.explain:
+        engine = PathQueryEngine(document, strategy=args.strategy)
+        print()
+        print(engine.explain(args.path))
+
+    if args.holistic:
+        result = evaluate_path_stack(document, args.path)
+        matches = result.last_elements()
+        print("\n%s: %d path solutions, %d distinct matches, "
+              "%d elements scanned"
+              % (args.path, result.count, len(matches),
+                 result.stats.elements_scanned))
+    elif args.twig_stack:
+        from repro.query.twigjoin import twig_from_path, twig_stack_join
+
+        root, output = twig_from_path(args.path)
+        solutions = twig_stack_join(document.entries_for_tag, root)
+        matches = solutions.bindings_of(output.index)
+        print("\n%s: %d twig matches, %d distinct output bindings, "
+              "%d elements scanned"
+              % (args.path, solutions.count, len(matches),
+                 solutions.stats.elements_scanned))
+    else:
+        engine = PathQueryEngine(document, strategy=args.strategy)
+        result = engine.evaluate(args.path)
+        matches = result.matches
+        print("\n%s: %d matches, %d joins, %d elements scanned"
+              % (args.path, len(matches), result.joins_run,
+                 result.stats.elements_scanned))
+    for match in matches[: args.limit]:
+        print("  region (%d, %d) level %d"
+              % (match.start, match.end, match.level))
+    if len(matches) > args.limit:
+        print("  ... and %d more" % (len(matches) - args.limit))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,316 @@
+"""Evaluating path expressions as pipelines of structural joins.
+
+The engine indexes each queried element set with an XR-tree (built lazily and
+cached), then evaluates a path left to right: the current matched set plays
+the ancestor role in a structural join against the next step's element set,
+and the matched descendants become the new current set.  This is precisely
+the "combination of multiple structural joins" execution model the paper
+leaves as future work, built on the primitives it provides.
+
+Intermediate results are bulk-loaded into throwaway XR-trees so every join in
+the pipeline is an XR-stack join; a ``strategy="stack-tree"`` escape hatch
+runs the pipeline on plain merged lists instead (useful for comparing plans).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.api import StorageContext, build_element_list, build_xr_tree
+from repro.joins import stack_tree_join, xr_stack_join
+from repro.joins.base import JoinStats
+from repro.query.path import AttributePredicate, Axis, parse_path
+
+
+class QueryError(Exception):
+    """Evaluation-time failure (unknown tag, unsupported feature)."""
+
+
+@dataclass
+class QueryResult:
+    """Matched elements plus the run's accumulated join statistics."""
+
+    path: str
+    matches: list
+    stats: JoinStats = field(default_factory=JoinStats)
+    joins_run: int = 0
+
+    def __len__(self):
+        return len(self.matches)
+
+    def starts(self):
+        return [entry.start for entry in self.matches]
+
+
+class PathQueryEngine:
+    """Evaluates path expressions over one region-encoded document.
+
+    >>> from repro.workloads import department_dataset
+    >>> engine = PathQueryEngine(department_dataset(2000).document)
+    >>> result = engine.evaluate("//employee/name")
+    >>> len(result) > 0
+    True
+    """
+
+    def __init__(self, document, context=None, strategy="xr-stack",
+                 index_loader=None):
+        """``index_loader(tag)`` may supply a pre-built XR-tree for a tag
+        (e.g. one persisted in a catalog); return None to fall back to
+        building one from the document's entries."""
+        if strategy not in ("xr-stack", "stack-tree"):
+            raise QueryError("unknown strategy %r" % strategy)
+        self.document = document
+        self.context = context or StorageContext()
+        self.strategy = strategy
+        self._index_loader = index_loader
+        self._tag_entries = {}
+        self._tag_indexes = {}
+        self._all_tags = None
+
+    # -- element-set access -----------------------------------------------------
+
+    def entries_for(self, tag):
+        """The start-sorted element set for ``tag`` (cached)."""
+        if tag not in self._tag_entries:
+            if tag == "*":
+                if self._all_tags is None:
+                    self._all_tags = sorted(self.document.tags())
+                entries = []
+                for known in self._all_tags:
+                    entries.extend(self.entries_for(known))
+                entries.sort(key=lambda e: e.start)
+                self._tag_entries[tag] = entries
+            else:
+                self._tag_entries[tag] = self.document.entries_for_tag(tag)
+        return self._tag_entries[tag]
+
+    def index_for(self, tag):
+        """The cached XR-tree index over ``tag``'s element set."""
+        if tag not in self._tag_indexes:
+            tree = None
+            if self._index_loader is not None:
+                tree = self._index_loader(tag)
+            if tree is None:
+                tree = build_xr_tree(self.entries_for(tag),
+                                     self.context.pool)
+            self._tag_indexes[tag] = tree
+        return self._tag_indexes[tag]
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def evaluate(self, path):
+        """Evaluate ``path`` (text or a parsed expression).
+
+        Returns a :class:`QueryResult` whose matches are the elements bound
+        to the path's *last* step, in document order.
+        """
+        expression = parse_path(path) if isinstance(path, str) else path
+        stats = JoinStats()
+        self._joins_run = 0
+        steps = list(expression.steps)
+        first = steps[0]
+        if first.axis.is_reverse:
+            raise QueryError("a path cannot start with a reverse axis")
+        current = list(self.entries_for(first.tag))
+        if first.axis is Axis.CHILD:
+            # An absolute /tag step binds only root-level elements.
+            current = [e for e in current if e.level == 0]
+        current = self._apply_predicates(current, first, stats)
+        for step in steps[1:]:
+            if not current:
+                break
+            current = self._join_step(current, step, stats)
+            self._joins_run += 1
+            current = self._apply_predicates(current, step, stats)
+        return QueryResult(str(expression), current, stats, self._joins_run)
+
+    def _reverse_step(self, context, step, stats):
+        """``parent::`` / ``ancestor::`` steps: one FindAncestors probe per
+        context element against the target tag's XR-tree — the Section 5.1
+        primitives driving navigation *up* the tree."""
+        tree = self.index_for(step.tag)
+        seen = set()
+        out = []
+        for element in context:
+            required = (element.level - 1 if step.axis is Axis.PARENT
+                        else None)
+            found = tree.find_ancestors(element.start, counter=stats,
+                                        required_level=required)
+            for ancestor in found:
+                if ancestor.start not in seen:
+                    seen.add(ancestor.start)
+                    out.append(ancestor)
+        out.sort(key=lambda e: e.start)
+        return out
+
+    # -- predicates (twig filters) ------------------------------------------------
+
+    def _apply_predicates(self, matches, step, stats):
+        """Keep only elements satisfying every ``[...]`` predicate —
+        structural (``[rel-path]``) or value (``[@attr=...]``)."""
+        for predicate in step.predicates:
+            if not matches:
+                break
+            if isinstance(predicate, AttributePredicate):
+                matches = self._filter_attribute(matches, predicate, stats)
+            else:
+                matches = self._filter_exists(matches, predicate, stats)
+        return matches
+
+    def _filter_attribute(self, matches, predicate, stats):
+        """Value search: keep elements whose source node carries the
+        attribute (and value, when given).  Requires a document exposing
+        ``node_at`` — entry ``ptr`` fields are document ordinals."""
+        node_at = getattr(self.document, "node_at", None)
+        if node_at is None:
+            raise QueryError(
+                "attribute predicates need node access; this document "
+                "view does not provide node_at()"
+            )
+        survivors = []
+        for element in matches:
+            stats.count(1)
+            node = node_at(element.ptr)
+            value = node.attributes.get(predicate.name)
+            if value is None:
+                continue
+            if predicate.value is None or value == predicate.value:
+                survivors.append(element)
+        return survivors
+
+    def _filter_exists(self, context, predicate, stats):
+        """Existential twig filter, evaluated as semi-joins right to left.
+
+        For a predicate ``t1 / t2 // t3`` the qualifying ``t2`` elements are
+        those with a ``t3`` descendant, the qualifying ``t1`` those with a
+        qualifying ``t2`` child, and the surviving context elements those
+        with a qualifying ``t1`` on the predicate's leading axis.
+        """
+        steps = list(predicate.steps)
+        if any(step.axis.is_reverse for step in steps):
+            raise QueryError("reverse axes are not supported inside "
+                             "predicates")
+        current = list(self.entries_for(steps[-1].tag))
+        current = self._apply_predicates(current, steps[-1], stats)
+        for earlier, later in zip(reversed(steps[:-1]), reversed(steps[1:])):
+            candidates = list(self.entries_for(earlier.tag))
+            candidates = self._apply_predicates(candidates, earlier, stats)
+            current = self._semi_join(candidates, current, later.axis, stats)
+        return self._semi_join(context, current, steps[0].axis, stats)
+
+    def _semi_join(self, ancestors, descendants, axis, stats):
+        """Distinct ancestors with at least one match among descendants."""
+        if not ancestors or not descendants:
+            return []
+        self._joins_run += 1
+        parent_child = axis is Axis.CHILD
+        ancestors = sorted(ancestors, key=lambda e: e.start)
+        descendants = sorted(descendants, key=lambda e: e.start)
+        if self.strategy == "xr-stack":
+            a_tree = build_xr_tree(ancestors, self.context.pool)
+            d_tree = build_xr_tree(descendants, self.context.pool)
+            pairs, _ = xr_stack_join(a_tree, d_tree,
+                                     parent_child=parent_child, stats=stats)
+        else:
+            a_list = build_element_list(ancestors, self.context.pool)
+            d_list = build_element_list(descendants, self.context.pool)
+            pairs, _ = stack_tree_join(a_list, d_list,
+                                       parent_child=parent_child,
+                                       stats=stats)
+        seen = set()
+        survivors = []
+        for ancestor, _descendant in pairs:
+            if ancestor.start not in seen:
+                seen.add(ancestor.start)
+                survivors.append(ancestor)
+        survivors.sort(key=lambda e: e.start)
+        return survivors
+
+    def explain(self, path):
+        """Describe, without executing joins, how ``path`` would run.
+
+        Returns a multi-line plan: one line per binary structural join or
+        predicate filter, with the element-set sizes the engine would feed
+        each operator and the estimated join cardinalities (sampled — see
+        :mod:`repro.query.estimate`).
+        """
+        from repro.query.estimate import estimate_join
+
+        expression = parse_path(path) if isinstance(path, str) else path
+        lines = ["plan for %s (strategy=%s)" % (expression, self.strategy)]
+        steps = list(expression.steps)
+        size = len(self.entries_for(steps[0].tag))
+        lines.append("  scan %-20s -> %d elements"
+                     % (steps[0].tag, size))
+        lines.extend(self._explain_predicates(steps[0], indent="  "))
+        previous_tag = steps[0].tag
+        previous_entries = self.entries_for(steps[0].tag)
+        for step in steps[1:]:
+            entries = self.entries_for(step.tag)
+            if step.axis.is_reverse:
+                lines.append(
+                    "  %s-probe into %s (%d): FindAncestors per match"
+                    % ("parent" if step.axis.name == "PARENT"
+                       else "ancestor", step.tag, len(entries))
+                )
+                lines.extend(self._explain_predicates(step, indent="  "))
+                previous_tag = step.tag
+                previous_entries = entries
+                continue
+            estimate = estimate_join(
+                previous_entries, entries,
+                parent_child=step.axis is Axis.CHILD,
+            )
+            lines.append(
+                "  %s-join %s (%d) with %s (%d) -> ~%d pairs, "
+                "~%d%% of %s match"
+                % ("child" if step.axis is Axis.CHILD else "descendant",
+                   previous_tag, len(previous_entries), step.tag,
+                   len(entries), round(estimate.pairs),
+                   round(100 * estimate.descendant_fraction), step.tag)
+            )
+            lines.extend(self._explain_predicates(step, indent="  "))
+            previous_tag = step.tag
+            previous_entries = entries
+        return "\n".join(lines)
+
+    def _explain_predicates(self, step, indent):
+        from repro.query.path import render_predicate
+
+        lines = []
+        for predicate in step.predicates:
+            if isinstance(predicate, AttributePredicate):
+                lines.append("%s  filter [%s] (value lookup per match)"
+                             % (indent, render_predicate(predicate)))
+            else:
+                lines.append("%s  semi-join filter [%s]"
+                             % (indent, render_predicate(predicate)))
+        return lines
+
+    def _join_step(self, ancestors, step, stats):
+        if step.axis.is_reverse:
+            return self._reverse_step(ancestors, step, stats)
+        parent_child = step.axis is Axis.CHILD
+        descendants = self.entries_for(step.tag)
+        if not descendants:
+            return []
+        if self.strategy == "xr-stack":
+            a_tree = build_xr_tree(sorted(ancestors, key=lambda e: e.start),
+                                   self.context.pool)
+            d_tree = self.index_for(step.tag)
+            pairs, _ = xr_stack_join(a_tree, d_tree,
+                                     parent_child=parent_child, stats=stats)
+        else:
+            a_list = build_element_list(
+                sorted(ancestors, key=lambda e: e.start), self.context.pool
+            )
+            d_list = build_element_list(descendants, self.context.pool)
+            pairs, _ = stack_tree_join(a_list, d_list,
+                                       parent_child=parent_child, stats=stats)
+        # Distinct matched descendants, in document order.
+        seen = set()
+        matched = []
+        for _, descendant in pairs:
+            if descendant.start not in seen:
+                seen.add(descendant.start)
+                matched.append(descendant)
+        matched.sort(key=lambda e: e.start)
+        return matched

@@ -1,0 +1,50 @@
+"""External-memory substrate: simulated disk, page codecs and buffer pool.
+
+The paper evaluates XR-trees on a storage manager doing direct disk I/O and
+observes that elapsed time is dominated by buffer-pool page misses.  This
+package reproduces that substrate in simulation: every index node, element
+list page and stab list page is a fixed-size byte-serialized page living on a
+:class:`~repro.storage.disk.SimulatedDisk`, accessed through a
+:class:`~repro.storage.buffer.BufferPool` with an LRU replacement policy and
+full hit/miss accounting.
+"""
+
+from repro.storage.buffer import BufferPool, BufferStats
+from repro.storage.disk import FileDisk, InMemoryDisk, IOStats, SimulatedDisk
+from repro.storage.errors import (
+    BufferPoolError,
+    PageDecodeError,
+    PageFullError,
+    PageNotFoundError,
+    StorageError,
+)
+from repro.storage.pages import (
+    DEFAULT_PAGE_SIZE,
+    ElementEntry,
+    Page,
+    RawPage,
+    page_codec,
+    register_page_type,
+)
+from repro.storage.timemodel import DiskTimeModel
+
+__all__ = [
+    "BufferPool",
+    "BufferStats",
+    "BufferPoolError",
+    "DEFAULT_PAGE_SIZE",
+    "DiskTimeModel",
+    "ElementEntry",
+    "FileDisk",
+    "InMemoryDisk",
+    "IOStats",
+    "Page",
+    "PageDecodeError",
+    "PageFullError",
+    "PageNotFoundError",
+    "RawPage",
+    "SimulatedDisk",
+    "StorageError",
+    "page_codec",
+    "register_page_type",
+]

@@ -1,0 +1,276 @@
+"""LRU buffer pool over a simulated disk.
+
+All index and data pages are accessed through a buffer pool, mirroring the
+paper's experimental system ("storage manager, buffer pool manager, B+-tree
+and XR-tree index modules").  The pool keeps decoded page objects resident in
+a bounded number of frames; page-miss counts drive the reproduced elapsed-time
+results, since the paper reports that "the total elapsed time is dominated by
+the I/O's performed, more specifically, the number of page misses".
+"""
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.storage.errors import BufferPoolError
+from repro.storage.pages import Page
+
+DEFAULT_POOL_PAGES = 100  # the paper's fixed buffer pool size
+
+
+@dataclass
+class BufferStats:
+    """Counters for logical page requests served by the pool."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    def reset(self):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    @property
+    def requests(self):
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self):
+        if not self.requests:
+            return 0.0
+        return self.hits / self.requests
+
+    def snapshot(self):
+        return BufferStats(self.hits, self.misses, self.evictions, self.writebacks)
+
+    def delta(self, earlier):
+        return BufferStats(
+            self.hits - earlier.hits,
+            self.misses - earlier.misses,
+            self.evictions - earlier.evictions,
+            self.writebacks - earlier.writebacks,
+        )
+
+
+class LruPolicy:
+    """Least-recently-used replacement (the default)."""
+
+    def __init__(self):
+        self._order = OrderedDict()  # page_id -> None, oldest first
+
+    def admitted(self, page_id):
+        self._order[page_id] = None
+
+    def touched(self, page_id):
+        self._order.move_to_end(page_id)
+
+    def removed(self, page_id):
+        self._order.pop(page_id, None)
+
+    def choose_victim(self, frames):
+        for page_id in self._order:
+            if frames[page_id].pin_count == 0:
+                return page_id
+        return None
+
+
+class ClockPolicy:
+    """Second-chance (clock) replacement.
+
+    A reference bit per frame is set on every touch; the hand sweeps the
+    ring, clearing bits and evicting the first unpinned frame whose bit is
+    already clear.  Cheaper bookkeeping than LRU at the cost of coarser
+    recency — the classic engine trade-off, ablatable via
+    ``BufferPool(..., policy="clock")``.
+    """
+
+    def __init__(self):
+        self._ring = []
+        self._position = {}   # page_id -> ring index
+        self._referenced = {}
+        self._hand = 0
+
+    def admitted(self, page_id):
+        self._position[page_id] = len(self._ring)
+        self._ring.append(page_id)
+        self._referenced[page_id] = True
+
+    def touched(self, page_id):
+        self._referenced[page_id] = True
+
+    def removed(self, page_id):
+        index = self._position.pop(page_id)
+        self._referenced.pop(page_id, None)
+        last = self._ring.pop()
+        if index < len(self._ring):
+            self._ring[index] = last
+            self._position[last] = index
+        if self._hand >= len(self._ring):
+            self._hand = 0
+
+    def choose_victim(self, frames):
+        if not self._ring:
+            return None
+        for _ in range(2 * len(self._ring)):
+            page_id = self._ring[self._hand]
+            self._hand = (self._hand + 1) % len(self._ring)
+            if frames[page_id].pin_count:
+                continue
+            if self._referenced.get(page_id, False):
+                self._referenced[page_id] = False
+                continue
+            return page_id
+        # Everything unpinned was referenced twice around: fall back to the
+        # first unpinned frame under the hand.
+        for offset in range(len(self._ring)):
+            page_id = self._ring[(self._hand + offset) % len(self._ring)]
+            if frames[page_id].pin_count == 0:
+                return page_id
+        return None
+
+
+_POLICIES = {"lru": LruPolicy, "clock": ClockPolicy}
+
+
+class BufferPool:
+    """A fixed-capacity page cache with pin semantics.
+
+    Pages are pinned while in use and must be unpinned by the caller; only
+    unpinned frames are eviction candidates.  Dirty frames are written back to
+    disk on eviction and on :meth:`flush_all`.  The replacement policy is
+    pluggable (``"lru"`` default, ``"clock"`` second-chance).
+    """
+
+    def __init__(self, disk, capacity=DEFAULT_POOL_PAGES, policy="lru"):
+        if capacity < 1:
+            raise BufferPoolError("buffer pool needs at least one frame")
+        if policy not in _POLICIES:
+            raise BufferPoolError("unknown replacement policy %r" % policy)
+        self.disk = disk
+        self.capacity = capacity
+        self.policy_name = policy
+        self.stats = BufferStats()
+        self._policy = _POLICIES[policy]()
+        self._frames = {}  # page_id -> Page
+
+    @property
+    def page_size(self):
+        return self.disk.page_size
+
+    # -- page access ----------------------------------------------------------
+
+    def fetch(self, page_id):
+        """Pin and return the page with ``page_id``, reading it if absent."""
+        page = self._frames.get(page_id)
+        if page is not None:
+            self.stats.hits += 1
+            self._policy.touched(page_id)
+        else:
+            self.stats.misses += 1
+            self._make_room()
+            data = self.disk.read(page_id)
+            page = Page.decode(data, self.disk.page_size)
+            page.page_id = page_id
+            self._frames[page_id] = page
+            self._policy.admitted(page_id)
+        page.pin_count += 1
+        return page
+
+    def new_page(self, page):
+        """Allocate a disk page for ``page``, pin it and cache it."""
+        if page.page_id is not None:
+            raise BufferPoolError("page already has id %r" % (page.page_id,))
+        self._make_room()
+        page.page_id = self.disk.allocate()
+        page.dirty = True
+        page.pin_count = 1
+        self._frames[page.page_id] = page
+        self._policy.admitted(page.page_id)
+        return page
+
+    def unpin(self, page, dirty=False):
+        """Release one pin on ``page``; ``dirty`` marks it modified."""
+        if page.pin_count <= 0:
+            raise BufferPoolError("unpin of page %r with no pins" % (page.page_id,))
+        if dirty:
+            page.dirty = True
+        page.pin_count -= 1
+
+    @contextmanager
+    def pinned(self, page_id):
+        """Context manager pinning ``page_id`` for the duration of the block."""
+        page = self.fetch(page_id)
+        try:
+            yield page
+        finally:
+            self.unpin(page, dirty=page.dirty)
+
+    def free_page(self, page):
+        """Drop ``page`` from the pool and release its disk page.
+
+        The caller must hold the only pin.
+        """
+        if page.pin_count != 1:
+            raise BufferPoolError(
+                "freeing page %r with pin count %d" % (page.page_id, page.pin_count)
+            )
+        del self._frames[page.page_id]
+        self._policy.removed(page.page_id)
+        self.disk.free(page.page_id)
+        page.page_id = None
+        page.pin_count = 0
+        page.dirty = False
+
+    # -- maintenance ------------------------------------------------------------
+
+    def flush_all(self):
+        """Write back every dirty frame (pages stay cached)."""
+        for page in self._frames.values():
+            if page.dirty:
+                self._writeback(page)
+
+    def clear(self):
+        """Flush and drop every frame; fails if any page is still pinned."""
+        for page in self._frames.values():
+            if page.pin_count:
+                raise BufferPoolError(
+                    "clear with page %r still pinned" % (page.page_id,)
+                )
+        self.flush_all()
+        for page_id in list(self._frames):
+            self._policy.removed(page_id)
+        self._frames.clear()
+
+    def reset_stats(self):
+        self.stats.reset()
+
+    @property
+    def pinned_count(self):
+        return sum(1 for page in self._frames.values() if page.pin_count)
+
+    @property
+    def resident_count(self):
+        return len(self._frames)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _writeback(self, page):
+        self.stats.writebacks += 1
+        self.disk.write(page.page_id, page.encode(self.disk.page_size))
+        page.dirty = False
+
+    def _make_room(self):
+        if len(self._frames) < self.capacity:
+            return
+        victim_id = self._policy.choose_victim(self._frames)
+        if victim_id is None:
+            raise BufferPoolError("all %d frames are pinned" % self.capacity)
+        victim = self._frames[victim_id]
+        if victim.dirty:
+            self._writeback(victim)
+        self.stats.evictions += 1
+        del self._frames[victim_id]
+        self._policy.removed(victim_id)

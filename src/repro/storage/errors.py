@@ -1,0 +1,25 @@
+"""Exception hierarchy for the storage substrate."""
+
+
+class StorageError(Exception):
+    """Base class for all storage-layer failures."""
+
+
+class PageNotFoundError(StorageError):
+    """A page id was requested that has never been allocated (or was freed)."""
+
+    def __init__(self, page_id):
+        super().__init__("page %r does not exist" % (page_id,))
+        self.page_id = page_id
+
+
+class PageFullError(StorageError):
+    """An entry was pushed into a page that has no remaining capacity."""
+
+
+class PageDecodeError(StorageError):
+    """On-disk bytes could not be decoded into a typed page object."""
+
+
+class BufferPoolError(StorageError):
+    """Buffer-pool protocol violation (e.g. evicting a pinned page)."""

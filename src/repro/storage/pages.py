@@ -1,0 +1,171 @@
+"""Typed on-disk pages and their byte codecs.
+
+Every page starts with a one-byte type tag used to dispatch decoding to the
+registered page class.  Concrete page classes (B+-tree nodes, XR-tree nodes,
+stab list pages, element list pages, ...) live next to the structures that own
+them and register themselves with :func:`register_page_type`.
+"""
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.storage.errors import PageDecodeError
+
+DEFAULT_PAGE_SIZE = 4096
+
+#: Registry mapping the page-type byte to the page class.
+_PAGE_TYPES = {}
+
+
+def register_page_type(cls):
+    """Class decorator registering ``cls`` under its ``TYPE_ID`` byte."""
+    type_id = cls.TYPE_ID
+    if not isinstance(type_id, int) or not 0 <= type_id <= 255:
+        raise ValueError("TYPE_ID must be a byte, got %r" % (type_id,))
+    existing = _PAGE_TYPES.get(type_id)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            "page type %d already registered by %s" % (type_id, existing.__name__)
+        )
+    _PAGE_TYPES[type_id] = cls
+    return cls
+
+
+def page_codec(type_id):
+    """Return the page class registered for ``type_id``."""
+    try:
+        return _PAGE_TYPES[type_id]
+    except KeyError:
+        raise PageDecodeError("unknown page type %d" % type_id)
+
+
+class Page:
+    """Base class for all typed pages.
+
+    Subclasses define a ``TYPE_ID`` byte, ``encode_payload`` and
+    ``decode_payload``.  The buffer pool keeps decoded page objects in memory
+    and serializes them back on eviction or flush.
+    """
+
+    TYPE_ID = None
+
+    def __init__(self):
+        self.page_id = None
+        self.dirty = False
+        self.pin_count = 0
+
+    def mark_dirty(self):
+        self.dirty = True
+
+    # -- codec ---------------------------------------------------------------
+
+    def encode(self, page_size):
+        payload = self.encode_payload()
+        if len(payload) + 1 > page_size:
+            raise PageDecodeError(
+                "%s payload of %d bytes exceeds page size %d"
+                % (type(self).__name__, len(payload), page_size)
+            )
+        return bytes([self.TYPE_ID]) + payload
+
+    @classmethod
+    def decode(cls, data, page_size):
+        """Decode raw disk bytes into the registered page object."""
+        if not data:
+            raise PageDecodeError("empty page image")
+        page_cls = page_codec(data[0])
+        page = page_cls.decode_payload(data[1:], page_size)
+        return page
+
+    def encode_payload(self):
+        raise NotImplementedError
+
+    @classmethod
+    def decode_payload(cls, data, page_size):
+        raise NotImplementedError
+
+
+@register_page_type
+class RawPage(Page):
+    """An untyped blob page, mainly used by tests of the substrate itself."""
+
+    TYPE_ID = 1
+    _HEADER = struct.Struct("<I")
+
+    def __init__(self, payload=b""):
+        super().__init__()
+        self.payload = bytes(payload)
+
+    def encode_payload(self):
+        return self._HEADER.pack(len(self.payload)) + self.payload
+
+    @classmethod
+    def decode_payload(cls, data, page_size):
+        (length,) = cls._HEADER.unpack_from(data, 0)
+        return cls(data[cls._HEADER.size : cls._HEADER.size + length])
+
+
+@dataclass(frozen=True)
+class ElementEntry:
+    """The canonical on-disk record for one region-encoded XML element.
+
+    ``(doc_id, start, end, level)`` matches the element format in the paper's
+    Section 2.2.  ``in_stab_list`` is the ``InStabList`` flag of Definition 4
+    (meaningful in XR-tree leaf pages); ``ptr`` points at the data entry for
+    the element (we store the element's ordinal in its source document).
+    """
+
+    doc_id: int
+    start: int
+    end: int
+    level: int
+    # Index-internal bookkeeping: excluded from equality/hash so that the
+    # same element compares equal whether it came from a leaf page, a stab
+    # list or a plain element list.
+    in_stab_list: bool = field(default=False, compare=False)
+    ptr: int = field(default=0, compare=False)
+
+    STRUCT = struct.Struct("<iiiHBq")
+    SIZE = struct.Struct("<iiiHBq").size
+
+    def pack(self):
+        return self.STRUCT.pack(
+            self.doc_id, self.start, self.end, self.level,
+            1 if self.in_stab_list else 0, self.ptr,
+        )
+
+    @classmethod
+    def unpack_from(cls, data, offset):
+        doc_id, start, end, level, flag, ptr = cls.STRUCT.unpack_from(data, offset)
+        return cls(doc_id, start, end, level, bool(flag), ptr)
+
+    # -- structural predicates (region encoding, Section 2.1) ----------------
+
+    def contains(self, other):
+        """True iff ``self`` is an ancestor of ``other`` (strict nesting)."""
+        return (
+            self.doc_id == other.doc_id
+            and self.start < other.start
+            and other.end < self.end
+        )
+
+    def is_parent_of(self, other):
+        return self.contains(other) and self.level == other.level - 1
+
+    def stabbed_by(self, key):
+        """True iff ``start <= key <= end`` (Definition 1)."""
+        return self.start <= key <= self.end
+
+    def with_flag(self, in_stab_list):
+        """Copy of this entry with the ``InStabList`` flag replaced."""
+        return ElementEntry(
+            self.doc_id, self.start, self.end, self.level, in_stab_list, self.ptr
+        )
+
+    @property
+    def region(self):
+        return (self.start, self.end)
+
+    def sort_key(self):
+        """Document order: by document, then by start position."""
+        return (self.doc_id, self.start)

@@ -1,0 +1,26 @@
+"""Experiment workloads: the paper's base element sets (Section 6.1) and the
+three join-selectivity derivation protocols (Sections 6.2-6.4)."""
+
+from repro.workloads.datasets import (
+    JoinDataset,
+    auction_dataset,
+    conference_dataset,
+    department_dataset,
+)
+from repro.workloads.selectivity import (
+    SelectivityWorkload,
+    vary_ancestor_selectivity,
+    vary_both_selectivity,
+    vary_descendant_selectivity,
+)
+
+__all__ = [
+    "JoinDataset",
+    "SelectivityWorkload",
+    "auction_dataset",
+    "conference_dataset",
+    "department_dataset",
+    "vary_ancestor_selectivity",
+    "vary_both_selectivity",
+    "vary_descendant_selectivity",
+]

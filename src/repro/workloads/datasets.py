@@ -1,0 +1,84 @@
+"""Base join datasets (Section 6.1).
+
+The paper generates ~90 MB of synthetic XML per DTD and joins
+``employee`` vs ``name`` (Department DTD — highly nested ancestors) and
+``paper`` vs ``author`` (Conference DTD — flat ancestors).  This module
+builds the same two base element-set pairs from our generator, at a
+configurable scale.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.xmldata.dtd import AUCTION_DTD, CONFERENCE_DTD, DEPARTMENT_DTD
+from repro.xmldata.generator import GeneratorConfig, XmlGenerator
+
+
+@dataclass
+class JoinDataset:
+    """A named pair of start-sorted element lists ready for joining."""
+
+    name: str
+    ancestors: list
+    descendants: list
+    document: object = field(default=None, repr=False)
+
+    @property
+    def ancestor_count(self):
+        return len(self.ancestors)
+
+    @property
+    def descendant_count(self):
+        return len(self.descendants)
+
+    def max_end(self):
+        """Largest region end across both lists (dummy placement bound)."""
+        candidates = [e.end for e in self.ancestors]
+        candidates.extend(e.end for e in self.descendants)
+        return max(candidates) if candidates else 0
+
+
+def department_dataset(target_elements=20000, seed=7, config=None):
+    """``employee`` vs ``name`` from the Department DTD (highly nested)."""
+    config = config or GeneratorConfig(mean_repeat=2.2, recursion_decay=0.72,
+                                       max_depth=28)
+    generator = XmlGenerator(DEPARTMENT_DTD, config, seed=seed)
+    document = generator.generate(target_elements)
+    return JoinDataset(
+        "employee_name",
+        document.entries_for_tag("employee"),
+        document.entries_for_tag("name"),
+        document,
+    )
+
+
+def conference_dataset(target_elements=20000, seed=11, config=None):
+    """``paper`` vs ``author`` from the Conference DTD (no nesting)."""
+    config = config or GeneratorConfig(mean_repeat=2.5)
+    generator = XmlGenerator(CONFERENCE_DTD, config, seed=seed)
+    document = generator.generate(target_elements)
+    return JoinDataset(
+        "paper_author",
+        document.entries_for_tag("paper"),
+        document.entries_for_tag("author"),
+        document,
+    )
+
+
+def auction_dataset(target_elements=20000, seed=29, config=None):
+    """``parlist`` vs ``text`` from the XMark-style auction DTD.
+
+    ``parlist`` nests through the mutually recursive
+    ``parlist > listitem > parlist`` cycle — indirect recursion, unlike the
+    Department DTD's direct ``employee`` recursion; used as a third data
+    profile for the stab-list study and robustness tests.
+    """
+    config = config or GeneratorConfig(mean_repeat=2.0,
+                                       recursion_decay=0.75, max_depth=30)
+    generator = XmlGenerator(AUCTION_DTD, config, seed=seed)
+    document = generator.generate(target_elements)
+    return JoinDataset(
+        "parlist_text",
+        document.entries_for_tag("parlist"),
+        document.entries_for_tag("text"),
+        document,
+    )

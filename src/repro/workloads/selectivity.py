@@ -1,0 +1,407 @@
+"""Join-selectivity workload derivation (Sections 6.2-6.4).
+
+The experiments vary the *join selectivity* of the two sides:
+
+* **Join-A** — the fraction of ancestors with at least one matching
+  descendant.  Section 6.2 fixes the matched-descendant fraction near 99 %
+  and sweeps Join-A from 90 % down to 1 % by "effectively removing certain
+  elements from the descendant list".
+* **Join-D** — the fraction of descendants with at least one matching
+  ancestor.  Section 6.3 keeps Join-A near 99 % and sweeps Join-D; removed
+  descendants are replaced by *dummy* elements that join nothing, keeping the
+  list size constant.
+* Section 6.4 sweeps both together with both list sizes held constant.
+
+Because ancestors nest, the set of matched ancestors is always closed under
+containment (keeping a descendant keeps its whole ancestor chain matched);
+the derivations below therefore build an upward-closed covered set with a
+randomized greedy pass and place dummies inside the gaps of the ancestor
+region union (falling back to the space past the document end).
+"""
+
+from dataclasses import dataclass
+from random import Random
+
+from repro.storage.pages import ElementEntry
+
+
+@dataclass
+class SelectivityWorkload:
+    """A derived workload plus its realized selectivities."""
+
+    name: str
+    ancestors: list
+    descendants: list
+    join_a: float      # realized fraction of ancestors with a match
+    join_d: float      # realized fraction of descendants with a match
+
+    @property
+    def sizes(self):
+        return len(self.ancestors), len(self.descendants)
+
+
+# -- containment analysis ------------------------------------------------------
+
+
+def ancestor_chains(ancestors, descendants):
+    """For each descendant, the indices of the ancestors containing it.
+
+    One merged sweep in start order with a containment stack; O(N) overall.
+    """
+    events = [(a.start, 1, i, a) for i, a in enumerate(ancestors)]
+    events.extend((d.start, 2, i, d) for i, d in enumerate(descendants))
+    events.sort(key=lambda ev: (ev[0], ev[1]))
+    chains = [()] * len(descendants)
+    stack = []  # (end, ancestor_index)
+    for start, kind, index, element in events:
+        while stack and stack[-1][0] < start:
+            stack.pop()
+        if kind == 1:
+            stack.append((element.end, index))
+        else:
+            # All stacked ancestors contain this start; the end check is
+            # redundant under strict nesting but guards malformed input.
+            chains[index] = tuple(i for end, i in stack if element.end < end)
+    return chains
+
+
+def region_gaps(ancestors, max_end):
+    """Maximal integer intervals not covered by any ancestor region.
+
+    Returns a list of ``(low, high)`` inclusive intervals inside
+    ``[1, max_end]`` plus an unbounded tail starting past ``max_end``.
+    """
+    gaps = []
+    cursor = 1
+    covered_until = 0
+    for ancestor in ancestors:  # already start-sorted
+        if ancestor.start > covered_until + 1:
+            low = covered_until + 1
+            high = ancestor.start - 1
+            if high >= low:
+                gaps.append((low, high))
+        covered_until = max(covered_until, ancestor.end)
+    if covered_until < max_end:
+        gaps.append((covered_until + 1, max_end))
+    gaps.append((max_end + 2, None))  # unbounded tail
+    return gaps
+
+
+class DummyFactory:
+    """Produces dummy elements that no real element contains or equals.
+
+    Two placements are supported:
+
+    * ``"tail"`` (default, matching the paper's protocol) — all dummies live
+      past the document end, so a join algorithm that can skip never touches
+      their pages; this is what makes the paper's elapsed-time gaps page-
+      level, not just element-level.
+    * ``"gaps"`` — dummies are interleaved into the gaps of the ancestor
+      region union, the adversarial layout where skips cannot save pages.
+
+    Each dummy occupies two fresh integer positions, so dummies never nest
+    in anything (and nothing nests in them).
+    """
+
+    def __init__(self, gaps, doc_id, level=1):
+        self._gaps = list(gaps)
+        self._doc_id = doc_id
+        self._level = level
+        self._gap_index = 0
+        self._cursor = self._gaps[0][0] if self._gaps else 1
+
+    #: Sentinel ``ptr`` marking dummy elements (real entries carry their
+    #: document ordinal, always >= 0).
+    DUMMY_PTR = -1
+
+    def make(self):
+        while True:
+            low, high = self._gaps[self._gap_index]
+            position = max(self._cursor, low)
+            if high is None or position + 1 <= high:
+                self._cursor = position + 2
+                return ElementEntry(self._doc_id, position, position + 1,
+                                    self._level, False, self.DUMMY_PTR)
+            self._gap_index += 1
+            self._cursor = self._gaps[self._gap_index][0]
+
+    def make_many(self, count):
+        return [self.make() for _ in range(count)]
+
+    @classmethod
+    def for_dataset(cls, dataset, placement="tail"):
+        """Factory with the requested placement for one dataset."""
+        max_end = dataset.max_end()
+        if placement == "tail":
+            gaps = [(max_end + 2, None)]
+        elif placement == "gaps":
+            gaps = region_gaps(dataset.ancestors, max_end)
+        else:
+            raise ValueError("unknown dummy placement %r" % (placement,))
+        return cls(gaps, _doc_id(dataset))
+
+
+def interleave_with_dummies(ancestors, kept_descendants, dummy_count,
+                            rng, doc_id, run_length=200):
+    """Rebuild both lists with ``dummy_count`` dummies injected between
+    top-level ancestor subtrees, renumbering regions.
+
+    This mirrors the paper's "effectively removing joined elements ... and
+    filling in some dummy elements": the dummies sit on the document axis
+    (a sequential scan pays for their pages) yet join nothing, and every
+    real containment relationship is preserved because each contiguous unit
+    shifts by a constant.  Returns ``(new_ancestors, new_descendants)``.
+
+    Dummies land in randomly chosen inter-subtree slots in runs of about
+    ``run_length`` records.  At the paper's scale (~10^6 elements over a few
+    hundred top-level subtrees) uniform filling produces multi-page runs by
+    itself; at laptop scale uniform filling would shred every run below one
+    page and no algorithm could skip at page granularity, so the run length
+    keeps the *page-level* structure of the workload scale-invariant.
+    """
+    entries = [(a.start, a.end, 0, a) for a in ancestors]
+    entries.extend((d.start, d.end, 1, d) for d in kept_descendants)
+    entries.sort(key=lambda item: item[0])
+    # Unit boundaries: starts of top-level ancestor regions plus every
+    # entry not covered by one.
+    boundaries = []
+    covered_until = -1
+    for start, end, kind, _ in entries:
+        if start > covered_until:
+            boundaries.append(start)
+            if kind == 0:
+                covered_until = end
+    max_end = max((end for _, end, _, _ in entries), default=0)
+    boundaries.append(max_end + 2)  # the final slot
+    slots = len(boundaries)
+    chosen = min(slots, max(1, dummy_count // max(run_length, 1)))
+    per_slot = [0] * slots
+    picked = rng.sample(range(slots), chosen)
+    for index in picked:
+        per_slot[index] = dummy_count // chosen
+    for index in rng.sample(picked, dummy_count - sum(per_slot)):
+        per_slot[index] += 1
+    # Walk the axis, injecting dummies before each boundary.
+    new_ancestors = []
+    new_descendants = []
+    shift = 0
+    slot = 0
+    position = 0
+    for start, end, kind, element in entries:
+        while slot < len(boundaries) - 1 and boundaries[slot] <= start:
+            base = boundaries[slot] + shift
+            for i in range(per_slot[slot]):
+                new_descendants.append(ElementEntry(
+                    doc_id, base + 2 * i, base + 2 * i + 1, 1,
+                    False, DummyFactory.DUMMY_PTR,
+                ))
+            shift += 2 * per_slot[slot]
+            slot += 1
+        moved = ElementEntry(doc_id, start + shift, end + shift,
+                             element.level, element.in_stab_list,
+                             element.ptr)
+        if kind == 0:
+            new_ancestors.append(moved)
+        else:
+            new_descendants.append(moved)
+    # Remaining slots (at least the final one) go past everything.
+    base = boundaries[-1] + shift
+    for extra in per_slot[slot:]:
+        for i in range(extra):
+            new_descendants.append(ElementEntry(
+                doc_id, base, base + 1, 1, False, DummyFactory.DUMMY_PTR,
+            ))
+            base += 2
+    new_descendants.sort(key=lambda e: e.start)
+    return new_ancestors, new_descendants
+
+
+# -- greedy covered-set construction ----------------------------------------------
+
+
+def _greedy_cover(chains, total_ancestors, target_count, rng):
+    """Build a covered ancestor set of ~``target_count`` members.
+
+    Whole top-level subtrees are covered first (in random order) — keeping
+    the matched region spatially clustered, see :func:`_pick_matched` — and
+    the remainder is topped up with individual descendant chains.
+    """
+    groups = {}
+    for index, chain in enumerate(chains):
+        if chain:
+            groups.setdefault(chain[0], set()).update(chain)
+    order = list(groups)
+    rng.shuffle(order)
+    covered = set()
+    leftovers = []
+    for key in order:
+        new = groups[key] - covered
+        if len(covered) + len(new) <= target_count:
+            covered |= new
+        else:
+            leftovers.append(key)
+        if len(covered) >= target_count:
+            return covered
+    # Fine-grained top-up from the skipped subtrees' individual chains.
+    for key in leftovers:
+        for index in sorted(i for i, chain in enumerate(chains)
+                            if chain and chain[0] == key):
+            new = [a for a in chains[index] if a not in covered]
+            if len(covered) + len(new) <= target_count:
+                covered.update(new)
+            if len(covered) >= target_count:
+                return covered
+    return covered
+
+
+# -- the three protocols ------------------------------------------------------------
+
+
+def vary_ancestor_selectivity(dataset, join_a, seed=0,
+                              matched_descendant_fraction=0.99,
+                              dummy_placement="tail"):
+    """Section 6.2: descendants are removed until only ``join_a`` of the
+    ancestors have matches; dummies keep ~99 % of the remaining descendants
+    matched."""
+    rng = Random(seed)
+    chains = ancestor_chains(dataset.ancestors, dataset.descendants)
+    target = int(round(join_a * len(dataset.ancestors)))
+    covered = _greedy_cover(chains, len(dataset.ancestors), target, rng)
+    kept = [
+        d for d, chain in zip(dataset.descendants, chains)
+        if chain and set(chain) <= covered
+    ]
+    dummy_count = _dummy_count(len(kept), matched_descendant_fraction)
+    factory = DummyFactory.for_dataset(dataset, dummy_placement)
+    descendants = sorted(kept + factory.make_many(dummy_count),
+                         key=lambda e: e.start)
+    return _finalize("%s@joinA=%.2f" % (dataset.name, join_a),
+                     dataset.ancestors, descendants, covered, len(kept))
+
+
+def vary_descendant_selectivity(dataset, join_d, seed=0,
+                                matched_ancestor_fraction=0.99,
+                                dummy_placement="interleave"):
+    """Section 6.3: only ``join_d`` of the descendants keep their matches
+    (the rest become dummies, sizes unchanged); matched descendants are
+    chosen deepest-first so ancestor coverage stays as close to 99 % as the
+    budget permits."""
+    rng = Random(seed)
+    chains = ancestor_chains(dataset.ancestors, dataset.descendants)
+    budget = int(round(join_d * len(dataset.descendants)))
+    matched_indices = _pick_matched(chains, budget, rng,
+                                    matched_ancestor_fraction,
+                                    len(dataset.ancestors))
+    kept = []
+    covered = set()
+    for index, descendant in enumerate(dataset.descendants):
+        if index in matched_indices:
+            kept.append(descendant)
+            covered.update(chains[index])
+    dummy_count = len(dataset.descendants) - len(kept)
+    ancestors, descendants = _place_dummies(dataset, kept, dummy_count,
+                                            rng, dummy_placement)
+    return _finalize("%s@joinD=%.2f" % (dataset.name, join_d),
+                     ancestors, descendants, covered, len(kept))
+
+
+def vary_both_selectivity(dataset, fraction, seed=0,
+                          dummy_placement="interleave"):
+    """Section 6.4: both selectivities sweep together with sizes constant.
+
+    A covered ancestor set of the target size is built; descendants whose
+    chains stay inside it remain matched (up to the same fraction of the
+    descendant list), everything else is replaced by dummies.
+    """
+    rng = Random(seed)
+    chains = ancestor_chains(dataset.ancestors, dataset.descendants)
+    target_a = int(round(fraction * len(dataset.ancestors)))
+    covered = _greedy_cover(chains, len(dataset.ancestors), target_a, rng)
+    budget_d = int(round(fraction * len(dataset.descendants)))
+    eligible_groups = {}
+    for index, chain in enumerate(chains):
+        if chain and set(chain) <= covered:
+            eligible_groups.setdefault(chain[0], []).append(index)
+    group_order = list(eligible_groups)
+    rng.shuffle(group_order)
+    keep = set()
+    for key in group_order:
+        if len(keep) >= budget_d:
+            break
+        for index in eligible_groups[key][: budget_d - len(keep)]:
+            keep.add(index)
+    kept = [d for index, d in enumerate(dataset.descendants)
+            if index in keep]
+    dummy_count = len(dataset.descendants) - len(kept)
+    ancestors, descendants = _place_dummies(dataset, kept, dummy_count,
+                                            rng, dummy_placement)
+    # Recompute coverage from the kept descendants only.
+    realized_cover = set()
+    for index in keep:
+        realized_cover.update(chains[index])
+    return _finalize("%s@both=%.2f" % (dataset.name, fraction),
+                     ancestors, descendants, realized_cover, len(kept))
+
+
+def _place_dummies(dataset, kept, dummy_count, rng, placement):
+    """Produce the final (ancestors, descendants) pair for a protocol."""
+    if placement == "interleave":
+        return interleave_with_dummies(dataset.ancestors, kept,
+                                       dummy_count, rng, _doc_id(dataset))
+    factory = DummyFactory.for_dataset(dataset, placement)
+    descendants = sorted(kept + factory.make_many(dummy_count),
+                         key=lambda e: e.start)
+    return list(dataset.ancestors), descendants
+
+
+# -- helpers -------------------------------------------------------------------------
+
+
+def _pick_matched(chains, budget, rng, coverage_target_fraction,
+                  ancestor_count):
+    """Choose ``budget`` descendants to stay matched.
+
+    Descendants are taken whole top-level subtree at a time (in random
+    subtree order): "removing joined elements" naturally removes them by
+    region, and whole-subtree granularity is what lets the indexed joins
+    skip the unmatched remainder at page level — scattering one matched
+    descendant into every subtree would force every page to be touched no
+    matter how few elements join.  Coverage of the ancestor set is then
+    proportional to the budget times the average chain depth, as close to
+    ``coverage_target_fraction`` as the budget permits.
+    """
+    groups = {}
+    for index, chain in enumerate(chains):
+        if chain:
+            groups.setdefault(chain[0], []).append(index)
+    order = list(groups)
+    rng.shuffle(order)
+    picked = []
+    for key in order:
+        if len(picked) >= budget:
+            break
+        picked.extend(groups[key][: budget - len(picked)])
+    return set(picked)
+
+
+def _dummy_count(matched, matched_fraction):
+    """Dummies needed so matched/(matched+dummies) ~= matched_fraction."""
+    if matched_fraction >= 1.0:
+        return 0
+    return max(0, int(round(matched * (1.0 - matched_fraction)
+                            / matched_fraction)))
+
+
+def _doc_id(dataset):
+    if dataset.ancestors:
+        return dataset.ancestors[0].doc_id
+    if dataset.descendants:
+        return dataset.descendants[0].doc_id
+    return 1
+
+
+def _finalize(name, ancestors, descendants, covered, matched_descendants):
+    join_a = len(covered) / len(ancestors) if ancestors else 0.0
+    join_d = (matched_descendants / len(descendants)) if descendants else 0.0
+    return SelectivityWorkload(name, list(ancestors), list(descendants),
+                               join_a, join_d)

@@ -1,0 +1,73 @@
+"""Multi-document corpora.
+
+The join definition (Section 2.2) is per-document: a pair qualifies only
+when ``a.DocId == d.DocId``.  A :class:`Corpus` manages several documents by
+assigning each a document id and a disjoint region range (a per-document
+offset), so that one index can cover an entire collection with globally
+unique start keys and the merge joins keep their single-scan behaviour —
+cross-document regions can never nest, and the join sink's doc check makes
+that explicit.
+"""
+
+from repro.storage.pages import ElementEntry
+
+#: Slack left between consecutive documents' region ranges.
+_DOC_GAP = 16
+
+
+class Corpus:
+    """A collection of region-encoded documents with disjoint region space."""
+
+    def __init__(self):
+        self._documents = []   # (document, offset)
+        self._next_base = 0
+
+    def add(self, document):
+        """Register ``document``; returns its assigned document id.
+
+        The document object is not modified: its regions are shifted by the
+        corpus offset only in the extracted element entries.
+        """
+        doc_id = len(self._documents) + 1
+        offset = self._next_base
+        self._documents.append((document, offset))
+        self._next_base = offset + document.root.end + _DOC_GAP
+        return doc_id
+
+    def __len__(self):
+        return len(self._documents)
+
+    def document(self, doc_id):
+        return self._documents[doc_id - 1][0]
+
+    def offset(self, doc_id):
+        return self._documents[doc_id - 1][1]
+
+    def tags(self):
+        out = set()
+        for document, _offset in self._documents:
+            out |= document.tags()
+        return out
+
+    def entries_for_tag(self, tag):
+        """Corpus-wide element set for ``tag``: every document's entries,
+        offset into its region range, in global start order."""
+        entries = []
+        for doc_index, (document, offset) in enumerate(self._documents):
+            doc_id = doc_index + 1
+            for ordinal, node in enumerate(document):
+                if node.tag == tag:
+                    entries.append(ElementEntry(
+                        doc_id, node.start + offset, node.end + offset,
+                        node.level, False, ordinal,
+                    ))
+        return entries
+
+    def element_count(self):
+        return sum(document.element_count()
+                   for document, _ in self._documents)
+
+    def locate(self, entry):
+        """Map a corpus-level entry back to its document-local region."""
+        offset = self.offset(entry.doc_id)
+        return entry.doc_id, entry.start - offset, entry.end - offset

@@ -1,0 +1,180 @@
+"""A small DTD model and parser, plus the paper's two experiment DTDs.
+
+Figure 6 of the paper defines the synthetic-data schemas:
+
+* **Department DTD** (highly nested — ``employee`` is recursive)::
+
+      <!ELEMENT departments (department+)>
+      <!ELEMENT department (name, email?, employee*)>
+      <!ELEMENT employee   (name, email?, employee*)>
+      <!ELEMENT name  (#PCDATA)>
+      <!ELEMENT email (#PCDATA)>
+
+* **Conference DTD** (less nested — no recursion)::
+
+      <!ELEMENT conferences (conference+)>
+      <!ELEMENT conference  (paper+)>
+      <!ELEMENT paper       (title, author+)>
+      <!ELEMENT title  (#PCDATA)>
+      <!ELEMENT author (#PCDATA)>
+
+Only the sequence content model with ``?``, ``*``, ``+`` cardinalities is
+supported — exactly what the experiments require.
+"""
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+
+
+class DtdError(Exception):
+    """Malformed DTD source or inconsistent declarations."""
+
+
+class Cardinality(Enum):
+    ONE = ""
+    OPTIONAL = "?"
+    ZERO_OR_MORE = "*"
+    ONE_OR_MORE = "+"
+
+    @property
+    def minimum(self):
+        return 1 if self in (Cardinality.ONE, Cardinality.ONE_OR_MORE) else 0
+
+    @property
+    def repeatable(self):
+        return self in (Cardinality.ZERO_OR_MORE, Cardinality.ONE_OR_MORE)
+
+
+@dataclass(frozen=True)
+class ChildSpec:
+    """One child slot in a sequence content model."""
+
+    tag: str
+    cardinality: Cardinality
+
+
+@dataclass(frozen=True)
+class ElementDecl:
+    """``<!ELEMENT tag (child-sequence)>`` or ``(#PCDATA)``."""
+
+    tag: str
+    children: tuple
+    is_text: bool = False
+
+
+class Dtd:
+    """A set of element declarations with a designated root tag."""
+
+    def __init__(self, root_tag, declarations):
+        self.root_tag = root_tag
+        self.declarations = {decl.tag: decl for decl in declarations}
+        if root_tag not in self.declarations:
+            raise DtdError("root tag %r has no declaration" % root_tag)
+        for decl in self.declarations.values():
+            for child in decl.children:
+                if child.tag not in self.declarations:
+                    raise DtdError(
+                        "%r references undeclared child %r" % (decl.tag, child.tag)
+                    )
+
+    def declaration(self, tag):
+        try:
+            return self.declarations[tag]
+        except KeyError:
+            raise DtdError("no declaration for tag %r" % tag)
+
+    def is_recursive(self, tag):
+        """True if ``tag`` can (transitively) contain itself."""
+        seen = set()
+        frontier = [tag]
+        while frontier:
+            current = frontier.pop()
+            for child in self.declaration(current).children:
+                if child.tag == tag:
+                    return True
+                if child.tag not in seen:
+                    seen.add(child.tag)
+                    frontier.append(child.tag)
+        return False
+
+    def tags(self):
+        return sorted(self.declarations)
+
+
+_DECL_RE = re.compile(
+    r"<!ELEMENT\s+(?P<tag>[\w.-]+)\s+(?P<model>\([^)]*\)|EMPTY|ANY)\s*>",
+)
+_CHILD_RE = re.compile(r"(?P<tag>[\w.#-]+)(?P<card>[?*+]?)")
+
+
+def parse_dtd(source, root_tag=None):
+    """Parse DTD ``source`` text into a :class:`Dtd`.
+
+    The first declared element becomes the root unless ``root_tag`` is given.
+    """
+    declarations = []
+    for match in _DECL_RE.finditer(source):
+        tag = match.group("tag")
+        model = match.group("model")
+        if model in ("EMPTY", "ANY") or "#PCDATA" in model:
+            declarations.append(ElementDecl(tag, (), is_text=model not in ("EMPTY",)))
+            continue
+        children = []
+        for part in model.strip("()").split(","):
+            part = part.strip()
+            if not part:
+                continue
+            child_match = _CHILD_RE.fullmatch(part)
+            if not child_match:
+                raise DtdError("unsupported content particle %r in %r" % (part, tag))
+            children.append(
+                ChildSpec(child_match.group("tag"),
+                          Cardinality(child_match.group("card")))
+            )
+        declarations.append(ElementDecl(tag, tuple(children)))
+    if not declarations:
+        raise DtdError("no element declarations found")
+    return Dtd(root_tag or declarations[0].tag, declarations)
+
+
+DEPARTMENT_DTD_SOURCE = """
+<!ELEMENT departments (department+)>
+<!ELEMENT department (name, email?, employee*)>
+<!ELEMENT employee (name, email?, employee*)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT email (#PCDATA)>
+"""
+
+CONFERENCE_DTD_SOURCE = """
+<!ELEMENT conferences (conference+)>
+<!ELEMENT conference (paper+)>
+<!ELEMENT paper (title, author+)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+"""
+
+AUCTION_DTD_SOURCE = """
+<!ELEMENT site (region+)>
+<!ELEMENT region (item+)>
+<!ELEMENT item (name, description?, open_auction*)>
+<!ELEMENT description (parlist?)>
+<!ELEMENT parlist (listitem+)>
+<!ELEMENT listitem (text?, parlist?)>
+<!ELEMENT open_auction (bidder*, annotation?)>
+<!ELEMENT annotation (description?)>
+<!ELEMENT bidder (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT text (#PCDATA)>
+"""
+
+#: The Department DTD of Figure 6(a) — same schema as Chien et al. [8].
+DEPARTMENT_DTD = parse_dtd(DEPARTMENT_DTD_SOURCE)
+
+#: The Conference DTD of Figure 6(b).
+CONFERENCE_DTD = parse_dtd(CONFERENCE_DTD_SOURCE)
+
+#: An XMark-flavoured auction schema (the paper's Section 3.3 study used
+#: XMark data); ``parlist``/``listitem`` recurse mutually, giving a second,
+#: indirectly-recursive source of nesting beyond the Department DTD.
+AUCTION_DTD = parse_dtd(AUCTION_DTD_SOURCE)

@@ -1,0 +1,270 @@
+"""A minimal from-scratch XML parser producing region-encoded documents.
+
+Supports the subset of XML the experiments and examples need: elements with
+attributes, text content, comments, processing instructions, a document type
+declaration (skipped), CDATA sections and the five predefined entities.  The
+parser assigns region codes during the single left-to-right pass, exactly as
+the paper describes region generation: "a depth-first traversal of the tree
+and sequentially assigning a number at each visit".
+"""
+
+import re
+
+from repro.xmldata.model import Document, Element
+
+
+class XmlParseError(Exception):
+    """Raised on malformed input, with the byte offset of the problem."""
+
+    def __init__(self, message, offset):
+        super().__init__("%s (at offset %d)" % (message, offset))
+        self.offset = offset
+
+
+_NAME_RE = re.compile(r"[A-Za-z_][\w.\-:]*")
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
+
+
+def _decode_text(raw, offset):
+    """Resolve predefined and numeric character references."""
+    if "&" not in raw:
+        return raw
+    out = []
+    index = 0
+    while index < len(raw):
+        char = raw[index]
+        if char != "&":
+            out.append(char)
+            index += 1
+            continue
+        semi = raw.find(";", index)
+        if semi == -1:
+            raise XmlParseError("unterminated entity reference", offset + index)
+        name = raw[index + 1 : semi]
+        if name.startswith("#x") or name.startswith("#X"):
+            out.append(chr(int(name[2:], 16)))
+        elif name.startswith("#"):
+            out.append(chr(int(name[1:])))
+        elif name in _ENTITIES:
+            out.append(_ENTITIES[name])
+        else:
+            raise XmlParseError("unknown entity %r" % name, offset + index)
+        index = semi + 1
+    return "".join(out)
+
+
+class _Tokenizer:
+    """Splits XML source into (kind, payload, offset) events."""
+
+    def __init__(self, source):
+        self.source = source
+        self.pos = 0
+
+    def events(self):
+        src = self.source
+        length = len(src)
+        while self.pos < length:
+            if src[self.pos] != "<":
+                start = self.pos
+                end = src.find("<", start)
+                if end == -1:
+                    end = length
+                text = src[start:end]
+                self.pos = end
+                if text.strip():
+                    yield ("text", _decode_text(text, start), start)
+                continue
+            if src.startswith("<!--", self.pos):
+                end = src.find("-->", self.pos + 4)
+                if end == -1:
+                    raise XmlParseError("unterminated comment", self.pos)
+                self.pos = end + 3
+                continue
+            if src.startswith("<![CDATA[", self.pos):
+                end = src.find("]]>", self.pos + 9)
+                if end == -1:
+                    raise XmlParseError("unterminated CDATA section", self.pos)
+                yield ("text", src[self.pos + 9 : end], self.pos)
+                self.pos = end + 3
+                continue
+            if src.startswith("<?", self.pos):
+                end = src.find("?>", self.pos + 2)
+                if end == -1:
+                    raise XmlParseError("unterminated processing instruction",
+                                        self.pos)
+                self.pos = end + 2
+                continue
+            if src.startswith("<!", self.pos):
+                # DOCTYPE (possibly with an internal subset in brackets).
+                depth = 0
+                index = self.pos
+                while index < length:
+                    if src[index] == "[":
+                        depth += 1
+                    elif src[index] == "]":
+                        depth -= 1
+                    elif src[index] == ">" and depth == 0:
+                        break
+                    index += 1
+                if index >= length:
+                    raise XmlParseError("unterminated declaration", self.pos)
+                self.pos = index + 1
+                continue
+            if src.startswith("</", self.pos):
+                end = src.find(">", self.pos)
+                if end == -1:
+                    raise XmlParseError("unterminated end tag", self.pos)
+                name = src[self.pos + 2 : end].strip()
+                yield ("end", name, self.pos)
+                self.pos = end + 1
+                continue
+            yield self._start_tag()
+
+    def _start_tag(self):
+        src = self.source
+        offset = self.pos
+        end = src.find(">", offset)
+        if end == -1:
+            raise XmlParseError("unterminated start tag", offset)
+        body = src[offset + 1 : end]
+        self_closing = body.endswith("/")
+        if self_closing:
+            body = body[:-1]
+        name_match = _NAME_RE.match(body)
+        if not name_match:
+            raise XmlParseError("invalid tag name", offset)
+        name = name_match.group(0)
+        attributes = _parse_attributes(body[name_match.end() :], offset)
+        self.pos = end + 1
+        kind = "empty" if self_closing else "start"
+        return (kind, (name, attributes), offset)
+
+
+_ATTR_RE = re.compile(r"\s*([\w.\-:]+)\s*=\s*(\"([^\"]*)\"|'([^']*)')")
+
+
+def _parse_attributes(raw, offset):
+    attributes = {}
+    pos = 0
+    while pos < len(raw):
+        if raw[pos].isspace():
+            pos += 1
+            continue
+        match = _ATTR_RE.match(raw, pos)
+        if not match:
+            raise XmlParseError("malformed attribute near %r" % raw[pos : pos + 20],
+                                offset + pos)
+        attributes[match.group(1)] = _decode_text(
+            match.group(3) if match.group(3) is not None else match.group(4),
+            offset,
+        )
+        pos = match.end()
+    return attributes
+
+
+def parse_document(source, doc_id=1, text_numbers=True):
+    """Parse XML text into a region-encoded :class:`Document`.
+
+    Region numbers are assigned in a single pass: the counter advances on
+    every start tag, every end tag, and (when ``text_numbers``) once per
+    non-empty text run — producing regions identical to the paper's Figure 1
+    style of numbering.
+    """
+    counter = 1
+    stack = []
+    root = None
+    for kind, payload, offset in _Tokenizer(source).events():
+        if kind in ("start", "empty"):
+            name, attributes = payload
+            node = Element(name, level=len(stack), attributes=attributes)
+            node.start = counter
+            counter += 1
+            if stack:
+                stack[-1].add_child(node)
+            elif root is None:
+                root = node
+            else:
+                raise XmlParseError("multiple root elements", offset)
+            if kind == "empty":
+                node.end = counter
+                counter += 1
+            else:
+                stack.append(node)
+        elif kind == "end":
+            if not stack:
+                raise XmlParseError("end tag %r with no open element" % payload,
+                                    offset)
+            node = stack.pop()
+            if node.tag != payload:
+                raise XmlParseError(
+                    "mismatched end tag %r for %r" % (payload, node.tag), offset
+                )
+            node.end = counter
+            counter += 1
+        else:  # text
+            if not stack:
+                raise XmlParseError("text outside the root element", offset)
+            stack[-1].text += payload
+            if text_numbers:
+                counter += 1
+    if stack:
+        raise XmlParseError("unclosed element %r" % stack[-1].tag, len(source))
+    if root is None:
+        raise XmlParseError("no root element", len(source))
+    return Document(root, doc_id=doc_id)
+
+
+def serialize_document(document, indent=False):
+    """Render a :class:`Document` back to XML text (used by examples/tests)."""
+    out = []
+
+    def _emit(node, depth):
+        pad = "  " * depth if indent else ""
+        newline = "\n" if indent else ""
+        text = _escape(node.text)
+        attrs = "".join(
+            ' %s="%s"' % (name, _escape_attribute(value))
+            for name, value in node.attributes.items()
+        )
+        if not node.children and not text:
+            out.append("%s<%s%s/>%s" % (pad, node.tag, attrs, newline))
+            return
+        out.append("%s<%s%s>" % (pad, node.tag, attrs))
+        if text:
+            out.append(text)
+        if node.children:
+            out.append(newline)
+            for child in node.children:
+                _emit(child, depth + 1)
+            out.append(pad)
+        out.append("</%s>%s" % (node.tag, newline))
+
+    stack_nodes = [document.root]
+    max_depth = 0
+    while stack_nodes:
+        node = stack_nodes.pop()
+        stack_nodes.extend(node.children)
+        if node.level > max_depth:
+            max_depth = node.level
+    import sys
+
+    if max_depth + 100 >= sys.getrecursionlimit():
+        old = sys.getrecursionlimit()
+        sys.setrecursionlimit(max_depth * 2 + 1000)
+        try:
+            _emit(document.root, 0)
+        finally:
+            sys.setrecursionlimit(old)
+    else:
+        _emit(document.root, 0)
+    return "".join(out)
+
+
+def _escape(text):
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _escape_attribute(value):
+    return _escape(value).replace('"', "&quot;")

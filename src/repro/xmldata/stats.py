@@ -1,0 +1,133 @@
+"""Document and element-set statistics.
+
+The paper's experiment design keys on a few structural properties — the
+same-tag nesting depth ``h_d`` (Section 3.3), subtree sizes (what makes the
+B+ containment skip effective), and tag distributions.  This module computes
+them for any document or element-entry list, for use by the studies, the
+examples and anyone characterizing their own data before indexing it.
+"""
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DocumentStats:
+    """Structural summary of one document."""
+
+    element_count: int
+    height: int
+    tag_counts: dict
+    depth_histogram: dict          # level -> element count
+    fanout_histogram: dict         # child count -> element count
+    max_nesting_by_tag: dict       # tag -> h_d
+
+    @property
+    def tags(self):
+        return sorted(self.tag_counts)
+
+    @property
+    def mean_fanout(self):
+        internal = {k: v for k, v in self.fanout_histogram.items() if k > 0}
+        total_children = sum(k * v for k, v in internal.items())
+        parents = sum(internal.values())
+        return total_children / parents if parents else 0.0
+
+    def describe(self):
+        lines = [
+            "elements: %d, height: %d, mean fanout: %.2f"
+            % (self.element_count, self.height, self.mean_fanout),
+            "tags: " + ", ".join(
+                "%s=%d (h_d=%d)" % (tag, self.tag_counts[tag],
+                                    self.max_nesting_by_tag[tag])
+                for tag in self.tags
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def document_stats(document):
+    """Compute :class:`DocumentStats` in one traversal."""
+    tag_counts = Counter()
+    depth_histogram = Counter()
+    fanout_histogram = Counter()
+    nesting = Counter()
+    height = 0
+    count = 0
+    stack = [(document.root, {})]
+    while stack:
+        node, tag_depths = stack.pop()
+        count += 1
+        tag_counts[node.tag] += 1
+        depth_histogram[node.level] += 1
+        fanout_histogram[len(node.children)] += 1
+        if node.level + 1 > height:
+            height = node.level + 1
+        here = dict(tag_depths)
+        here[node.tag] = here.get(node.tag, 0) + 1
+        if here[node.tag] > nesting[node.tag]:
+            nesting[node.tag] = here[node.tag]
+        for child in node.children:
+            stack.append((child, here))
+    return DocumentStats(
+        element_count=count,
+        height=height,
+        tag_counts=dict(tag_counts),
+        depth_histogram=dict(depth_histogram),
+        fanout_histogram=dict(fanout_histogram),
+        max_nesting_by_tag=dict(nesting),
+    )
+
+
+@dataclass
+class ElementSetStats:
+    """Summary of one start-sorted element-entry list (a join input)."""
+
+    count: int
+    max_nesting: int               # deepest same-set containment chain
+    top_level_count: int           # elements contained in no other
+    subtree_sizes: list = field(repr=False, default_factory=list)
+
+    @property
+    def mean_subtree_size(self):
+        if not self.subtree_sizes:
+            return 0.0
+        return sum(self.subtree_sizes) / len(self.subtree_sizes)
+
+    @property
+    def max_subtree_size(self):
+        return max(self.subtree_sizes) if self.subtree_sizes else 0
+
+
+def element_set_stats(entries):
+    """Containment statistics of one element set via a single sweep.
+
+    ``max_nesting`` is the ``h_d`` bound governing stab-list sizes
+    (Section 3.3); subtree sizes (per top-level element) govern how far the
+    B+ baseline's containment skip can jump.
+    """
+    stack = []
+    max_nesting = 0
+    top_level = 0
+    subtree_sizes = []
+    current_size = 0
+    for element in entries:
+        while stack and stack[-1] < element.start:
+            stack.pop()
+        if not stack:
+            top_level += 1
+            if current_size:
+                subtree_sizes.append(current_size)
+            current_size = 0
+        current_size += 1
+        stack.append(element.end)
+        if len(stack) > max_nesting:
+            max_nesting = len(stack)
+    if current_size:
+        subtree_sizes.append(current_size)
+    return ElementSetStats(
+        count=len(entries),
+        max_nesting=max_nesting,
+        top_level_count=top_level,
+        subtree_sizes=subtree_sizes,
+    )

@@ -1,0 +1,151 @@
+"""In-place document updates over sparse region numbering.
+
+The paper sidesteps XML updates ("the problem of updating XML is still an
+open issue", Section 4) but its whole Section 4 exists so that *index*
+maintenance can follow source updates.  This module supplies the missing
+source-side piece for the common practical scheme: number documents
+sparsely (``annotate_regions(..., spacing=k)``) and satisfy insertions from
+the unused integers, so no existing region code ever changes — every other
+element's index entries stay valid and only the new/removed elements touch
+the XR-trees (via plain Algorithm 1/2 inserts and deletes).
+
+When a local gap is exhausted the insert raises :class:`GapExhausted`; a
+full renumbering (rebuilding indexes) is then unavoidable, exactly the
+trade-off the durable-numbering literature describes.
+"""
+
+from repro.storage.pages import ElementEntry
+from repro.xmldata.model import Element, XmlModelError
+
+
+class GapExhausted(XmlModelError):
+    """No unused region numbers remain at the requested position."""
+
+
+def available_gap(parent, position):
+    """The open integer interval for a new child at ``position``.
+
+    Bounded on the left by the previous sibling's end (or the parent's
+    start, plus its text slot if any) and on the right by the next
+    sibling's start (or the parent's end); both bounds exclusive.
+    """
+    if position > 0:
+        low = parent.children[position - 1].end
+    else:
+        low = parent.start
+    if position < len(parent.children):
+        high = parent.children[position].start
+    else:
+        high = parent.end
+    return low, high
+
+
+def insert_leaf_element(document, parent, position, tag, text="",
+                        attributes=None):
+    """Insert a new childless element under ``parent`` at ``position``.
+
+    The new element takes two unused integers from the local gap (three
+    when it has text, matching the document's numbering convention);
+    existing region codes are untouched.  Returns the new
+    :class:`~repro.xmldata.model.Element`.
+    """
+    if not 0 <= position <= len(parent.children):
+        raise XmlModelError("position %d out of range" % position)
+    low, high = available_gap(parent, position)
+    needed = 3 if text else 2
+    if high - low - 1 < needed:
+        raise GapExhausted(
+            "gap (%d, %d) under %r holds %d free numbers, need %d"
+            % (low, high, parent.tag, max(0, high - low - 1), needed)
+        )
+    # Center the new region in the gap so both sides keep slack.
+    slack = (high - low - 1 - needed) // 2
+    start = low + 1 + slack
+    node = Element(tag, start=start, end=start + needed - 1,
+                   level=parent.level + 1, text=text,
+                   attributes=attributes)
+    node.parent = parent
+    parent.children.insert(position, node)
+    _invalidate_ordinals(document)
+    return node
+
+
+def delete_leaf_element(document, node):
+    """Remove a childless element from its parent (regions untouched)."""
+    if node.children:
+        raise XmlModelError("delete_leaf_element requires a leaf; %r has "
+                            "%d children" % (node.tag, len(node.children)))
+    if node.parent is None:
+        raise XmlModelError("cannot delete the document root")
+    node.parent.children.remove(node)
+    node.parent = None
+    _invalidate_ordinals(document)
+    return node
+
+
+def entry_for(document, node):
+    """The index entry for one element of ``document`` (fresh ordinal)."""
+    for ordinal, candidate in enumerate(document):
+        if candidate is node:
+            return ElementEntry(document.doc_id, node.start, node.end,
+                                node.level, False, ordinal)
+    raise XmlModelError("element %r is not part of this document"
+                        % node.tag)
+
+
+def _invalidate_ordinals(document):
+    if hasattr(document, "_ordinal_cache"):
+        del document._ordinal_cache
+
+
+class IndexedDocument:
+    """A document with per-tag XR-tree indexes kept in sync through updates.
+
+    The demonstration vehicle for Section 4: ``insert(parent, pos, tag)``
+    and ``delete(node)`` mutate the document *and* run Algorithm 1/2 on the
+    affected tag's XR-tree — nothing else is touched.
+    """
+
+    def __init__(self, document, pool):
+        self.document = document
+        self._pool = pool
+        self._trees = {}
+        for tag in sorted(document.tags()):
+            from repro.indexes.xrtree import XRTree
+
+            tree = XRTree(pool)
+            tree.bulk_load(document.entries_for_tag(tag))
+            self._trees[tag] = tree
+
+    def tree(self, tag):
+        return self._trees.get(tag)
+
+    def insert(self, parent, position, tag, text=""):
+        node = insert_leaf_element(self.document, parent, position, tag,
+                                   text)
+        if tag not in self._trees:
+            from repro.indexes.xrtree import XRTree
+
+            self._trees[tag] = XRTree(self._pool)
+        self._trees[tag].insert(ElementEntry(
+            self.document.doc_id, node.start, node.end, node.level,
+        ))
+        return node
+
+    def delete(self, node):
+        delete_leaf_element(self.document, node)
+        tree = self._trees.get(node.tag)
+        if tree is not None:
+            tree.delete(node.start)
+        return node
+
+    def check(self):
+        from repro.indexes.xrtree import check_xrtree
+
+        self.document.validate()
+        for tag, tree in self._trees.items():
+            check_xrtree(tree)
+            starts = sorted(n.start for n in self.document
+                            if n.tag == tag)
+            assert [e.start for e in tree.items()] == starts, tag
+        return True

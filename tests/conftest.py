@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.api import StorageContext
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDisk
+from repro.storage.pages import ElementEntry
+from repro.workloads.datasets import conference_dataset, department_dataset
+
+
+@pytest.fixture
+def disk():
+    return InMemoryDisk(page_size=512)
+
+
+@pytest.fixture
+def pool(disk):
+    return BufferPool(disk, capacity=32)
+
+
+@pytest.fixture
+def big_pool():
+    return BufferPool(InMemoryDisk(page_size=4096), capacity=256)
+
+
+@pytest.fixture
+def context():
+    """A storage context with small pages to force multi-level trees."""
+    return StorageContext(page_size=512, buffer_pages=64)
+
+
+@pytest.fixture(scope="session")
+def dept_data():
+    return department_dataset(3000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def conf_data():
+    return conference_dataset(3000, seed=11)
+
+
+def entry(start, end, level=1, doc=1, flag=False, ptr=0):
+    """Shorthand ElementEntry constructor used across the suite."""
+    return ElementEntry(doc, start, end, level, flag, ptr)
+
+
+def nested_entries(spec):
+    """Build entries from a compact '(start,end)' spec list."""
+    return [entry(s, e, level) for s, e, level in spec]
+
+
+@pytest.fixture
+def make_entry():
+    return entry

@@ -1,0 +1,97 @@
+"""Tests for the XMark-style auction DTD and dataset."""
+
+import pytest
+
+from repro.core import structural_join
+from repro.core.api import oracle_join
+from repro.joins.base import sort_pairs
+from repro.workloads import auction_dataset
+from repro.xmldata.dtd import AUCTION_DTD
+from repro.xmldata.generator import XmlGenerator
+from repro.xmldata.stats import document_stats
+
+
+@pytest.fixture(scope="module")
+def auction():
+    return auction_dataset(3000, seed=29)
+
+
+class TestAuctionDtd:
+    def test_indirect_recursion_detected(self):
+        assert AUCTION_DTD.is_recursive("parlist")
+        assert AUCTION_DTD.is_recursive("listitem")
+        assert not AUCTION_DTD.is_recursive("item")
+        assert not AUCTION_DTD.is_recursive("name")
+
+    def test_root(self):
+        assert AUCTION_DTD.root_tag == "site"
+
+    def test_generated_document_validates(self):
+        document = XmlGenerator(AUCTION_DTD, seed=5).generate(1500)
+        assert document.validate()
+        assert document.root.tag == "site"
+
+    def test_nesting_comes_from_the_parlist_cycle(self, auction):
+        stats = document_stats(auction.document)
+        assert stats.max_nesting_by_tag["parlist"] >= 3
+        assert stats.max_nesting_by_tag["item"] == 1
+
+
+class TestAuctionDataset:
+    def test_shape(self, auction):
+        assert auction.name == "parlist_text"
+        assert auction.ancestor_count > 50
+        assert auction.descendant_count > 50
+        starts = [e.start for e in auction.ancestors]
+        assert starts == sorted(starts)
+
+    def test_ancestors_nest(self, auction):
+        from repro.xmldata.stats import element_set_stats
+
+        stats = element_set_stats(auction.ancestors)
+        assert stats.max_nesting >= 3
+
+    @pytest.mark.parametrize("algorithm",
+                             ["stack-tree", "b+", "xr-stack"])
+    def test_joins_match_oracle(self, auction, algorithm):
+        outcome = structural_join(auction.ancestors, auction.descendants,
+                                  algorithm=algorithm)
+        assert sort_pairs(outcome.pairs) == oracle_join(
+            auction.ancestors, auction.descendants
+        )
+
+    def test_xr_tree_invariants_on_auction_data(self, auction):
+        from repro.core.api import StorageContext, build_xr_tree
+        from repro.indexes.xrtree import check_xrtree
+
+        context = StorageContext(page_size=512, buffer_pages=64)
+        entries = sorted(auction.ancestors + auction.descendants,
+                         key=lambda e: e.start)
+        tree = build_xr_tree(entries, context.pool)
+        assert check_xrtree(tree)
+
+    def test_dynamic_inserts_on_auction_data(self, auction):
+        import random
+
+        from repro.core.api import StorageContext
+        from repro.indexes.xrtree import XRTree, check_xrtree
+
+        rng = random.Random(3)
+        entries = sorted(auction.ancestors + auction.descendants,
+                         key=lambda e: e.start)[:600]
+        rng.shuffle(entries)
+        context = StorageContext(page_size=512, buffer_pages=64)
+        tree = XRTree(context.pool, leaf_capacity=4, internal_capacity=3)
+        for e in entries:
+            tree.insert(e)
+        check_xrtree(tree)
+
+    def test_query_engine_on_auction_document(self, auction):
+        from repro.query import PathQueryEngine
+
+        engine = PathQueryEngine(auction.document)
+        deep = engine.evaluate("//parlist//parlist")
+        assert len(deep) > 0
+        twig = engine.evaluate("//item[description//parlist]/name")
+        flat = engine.evaluate("//item/name")
+        assert len(twig) <= len(flat)

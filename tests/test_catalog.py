@@ -1,0 +1,153 @@
+"""Tests for on-disk persistence via the catalog (repro.storage.catalog)."""
+
+import pytest
+
+from repro.indexes.bptree import BPlusTree
+from repro.indexes.xrtree import XRTree, check_xrtree
+from repro.storage.buffer import BufferPool
+from repro.storage.catalog import Catalog, CatalogError, CatalogPage
+from repro.storage.disk import FileDisk, InMemoryDisk
+from repro.storage.pagedlist import PagedElementList
+from tests.conftest import entry
+
+
+@pytest.fixture
+def cat_pool():
+    return BufferPool(InMemoryDisk(512), capacity=32)
+
+
+@pytest.fixture
+def catalog(cat_pool):
+    return Catalog.create(cat_pool)
+
+
+def sample_entries(n):
+    return [entry(i * 3 + 1, i * 3 + 2) for i in range(n)]
+
+
+class TestCatalogBasics:
+    def test_create_uses_first_page(self, catalog):
+        assert catalog.page_id == 1
+
+    def test_open_existing(self, cat_pool, catalog):
+        again = Catalog.open(cat_pool)
+        assert again.page_id == catalog.page_id
+
+    def test_open_wrong_page_type_rejected(self, cat_pool):
+        from repro.storage.pages import RawPage
+
+        page = cat_pool.new_page(RawPage(b"not a catalog"))
+        page_id = page.page_id
+        cat_pool.unpin(page, dirty=True)
+        with pytest.raises(CatalogError):
+            Catalog.open(cat_pool, page_id)
+
+    def test_names_empty(self, catalog):
+        assert catalog.names() == {}
+
+    def test_load_missing_raises(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.load_bptree("ghost")
+
+    def test_remove_missing_raises(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.remove("ghost")
+
+    def test_long_name_rejected(self, cat_pool, catalog):
+        tree = BPlusTree(cat_pool)
+        catalog.save_bptree("x" * 40, tree)
+        with pytest.raises(CatalogError):
+            cat_pool.flush_all()
+
+
+class TestSaveLoadRoundtrips:
+    def test_bptree_roundtrip(self, cat_pool, catalog):
+        tree = BPlusTree(cat_pool)
+        tree.bulk_load(sample_entries(200))
+        catalog.save_bptree("keys", tree)
+        loaded = catalog.load_bptree("keys")
+        assert loaded.size == 200
+        assert [e.start for e in loaded.items()] == \
+            [e.start for e in tree.items()]
+        loaded.check()
+
+    def test_xrtree_roundtrip(self, cat_pool, catalog):
+        tree = XRTree(cat_pool, leaf_capacity=4, internal_capacity=3)
+        for e in [entry(1, 50), entry(2, 20), entry(3, 10), entry(25, 45)]:
+            tree.insert(e)
+        catalog.save_xrtree("emps", tree)
+        loaded = catalog.load_xrtree("emps")
+        assert loaded.leaf_capacity == 4
+        check_xrtree(loaded)
+        assert [a.start for a in loaded.find_ancestors(5)] == [1, 2, 3]
+
+    def test_element_list_roundtrip(self, cat_pool, catalog):
+        lst = PagedElementList.build(cat_pool, sample_entries(100))
+        catalog.save_element_list("raw", lst)
+        loaded = catalog.load_element_list("raw")
+        assert list(loaded) == list(lst)
+        assert loaded.page_count == lst.page_count
+
+    def test_kind_mismatch_rejected(self, cat_pool, catalog):
+        tree = BPlusTree(cat_pool)
+        tree.bulk_load(sample_entries(5))
+        catalog.save_bptree("thing", tree)
+        with pytest.raises(CatalogError):
+            catalog.load_xrtree("thing")
+
+    def test_resave_updates_in_place(self, cat_pool, catalog):
+        tree = BPlusTree(cat_pool)
+        tree.bulk_load(sample_entries(10))
+        catalog.save_bptree("t", tree)
+        tree.insert(entry(100000, 100001))
+        catalog.save_bptree("t", tree)
+        assert catalog.load_bptree("t").size == 11
+        assert len(catalog.names()) == 1
+
+    def test_names_and_remove(self, cat_pool, catalog):
+        tree = BPlusTree(cat_pool)
+        catalog.save_bptree("a", tree)
+        catalog.save_xrtree("b", XRTree(cat_pool))
+        assert catalog.names() == {"a": "b+tree", "b": "xr-tree"}
+        catalog.remove("a")
+        assert catalog.names() == {"b": "xr-tree"}
+
+    def test_overflow_to_second_catalog_page(self, cat_pool, catalog):
+        capacity = CatalogPage.capacity(cat_pool.page_size)
+        tree = BPlusTree(cat_pool)
+        for index in range(capacity + 3):
+            catalog.save_bptree("t%03d" % index, tree)
+        assert len(catalog.names()) == capacity + 3
+        assert catalog.load_bptree("t%03d" % (capacity + 2)) is not None
+
+
+class TestFileBackedReopen:
+    def test_full_database_reopen(self, tmp_path):
+        path = str(tmp_path / "db.pages")
+        entries = sample_entries(300)
+        with FileDisk(path, page_size=512) as disk:
+            pool = BufferPool(disk, capacity=32)
+            catalog = Catalog.create(pool)
+            xr = XRTree(pool)
+            for e in entries:
+                xr.insert(e)
+            bp = BPlusTree(pool)
+            bp.bulk_load(entries)
+            lst = PagedElementList.build(pool, entries)
+            catalog.save_xrtree("xr", xr)
+            catalog.save_bptree("bp", bp)
+            catalog.save_element_list("lst", lst)
+            pool.flush_all()
+
+        # Reopen the file in a fresh disk object, as a new process would.
+        with FileDisk(path, page_size=512) as disk:
+            pool = BufferPool(disk, capacity=32)
+            catalog = Catalog.open(pool)
+            assert set(catalog.names()) == {"xr", "bp", "lst"}
+            xr = catalog.load_xrtree("xr")
+            check_xrtree(xr)
+            assert xr.size == 300
+            bp = catalog.load_bptree("bp")
+            assert bp.search(entries[5].start) is not None
+            lst = catalog.load_element_list("lst")
+            assert len(list(lst)) == 300

@@ -1,0 +1,100 @@
+"""Tests for multi-document corpora (repro.xmldata.corpus)."""
+
+import pytest
+
+from repro.core import structural_join
+from repro.core.api import oracle_join
+from repro.joins.base import sort_pairs
+from repro.xmldata.corpus import Corpus
+from repro.xmldata.parser import parse_document
+
+
+def two_document_corpus():
+    corpus = Corpus()
+    corpus.add(parse_document("<a><b><c/></b><c/></a>"))
+    corpus.add(parse_document("<a><b><c/><c/></b></a>"))
+    return corpus
+
+
+class TestCorpusBasics:
+    def test_add_assigns_sequential_ids(self):
+        corpus = two_document_corpus()
+        assert len(corpus) == 2
+        assert corpus.document(1).root.tag == "a"
+        assert corpus.document(2).root.tag == "a"
+
+    def test_offsets_are_disjoint(self):
+        corpus = two_document_corpus()
+        first = corpus.entries_for_tag("a")
+        assert first[0].doc_id == 1
+        assert first[1].doc_id == 2
+        assert first[0].end < first[1].start  # disjoint region ranges
+
+    def test_entries_sorted_globally(self):
+        corpus = two_document_corpus()
+        entries = corpus.entries_for_tag("c")
+        starts = [e.start for e in entries]
+        assert starts == sorted(starts)
+        assert len(entries) == 4
+
+    def test_unique_starts_across_documents(self):
+        corpus = two_document_corpus()
+        everything = []
+        for tag in corpus.tags():
+            everything.extend(corpus.entries_for_tag(tag))
+        starts = [e.start for e in everything]
+        assert len(starts) == len(set(starts))
+
+    def test_tags_and_counts(self):
+        corpus = two_document_corpus()
+        assert corpus.tags() == {"a", "b", "c"}
+        assert corpus.element_count() == 4 + 4
+
+    def test_locate_roundtrip(self):
+        corpus = two_document_corpus()
+        entry = corpus.entries_for_tag("b")[1]  # from document 2
+        doc_id, start, end = corpus.locate(entry)
+        assert doc_id == 2
+        local = [n for n in corpus.document(2) if n.tag == "b"][0]
+        assert (start, end) == (local.start, local.end)
+
+    def test_documents_not_mutated(self):
+        corpus = Corpus()
+        document = parse_document("<a><b/></a>")
+        before = [(n.start, n.end) for n in document]
+        corpus.add(parse_document("<x><y/></x>"))
+        corpus.add(document)
+        corpus.entries_for_tag("b")
+        assert [(n.start, n.end) for n in document] == before
+
+
+class TestCorpusJoins:
+    @pytest.mark.parametrize("algorithm",
+                             ["stack-tree", "mpmgjn", "b+", "xr-stack"])
+    def test_join_never_crosses_documents(self, algorithm):
+        corpus = two_document_corpus()
+        ancestors = corpus.entries_for_tag("b")
+        descendants = corpus.entries_for_tag("c")
+        outcome = structural_join(ancestors, descendants,
+                                  algorithm=algorithm)
+        assert all(a.doc_id == d.doc_id for a, d in outcome.pairs)
+        assert sort_pairs(outcome.pairs) == oracle_join(ancestors,
+                                                        descendants)
+        # doc 1: b contains one c; doc 2: b contains two c's.
+        assert outcome.stats.pairs == 3
+
+    def test_corpus_of_generated_documents(self):
+        from repro.xmldata.dtd import DEPARTMENT_DTD
+        from repro.xmldata.generator import XmlGenerator
+
+        corpus = Corpus()
+        generator = XmlGenerator(DEPARTMENT_DTD, seed=2)
+        for document in generator.generate_corpus(3, 600):
+            corpus.add(document)
+        ancestors = corpus.entries_for_tag("employee")
+        descendants = corpus.entries_for_tag("name")
+        outcome = structural_join(ancestors, descendants,
+                                  algorithm="xr-stack")
+        assert sort_pairs(outcome.pairs) == oracle_join(ancestors,
+                                                        descendants)
+        assert {e.doc_id for e in ancestors} == {1, 2, 3}

@@ -1,0 +1,210 @@
+"""Tests for the persistent XML database (repro.core.database)."""
+
+import pytest
+
+from repro.core.database import XmlDatabase, XmlDatabaseError
+from repro.indexes.xrtree import check_xrtree
+from repro.xmldata.parser import parse_document
+
+DOC_A = "<dept><emp><name>w</name><emp><name>x</name></emp></emp></dept>"
+DOC_B = "<dept><emp><name>y</name></emp><office><name>s</name></office></dept>"
+
+
+class TestBlobStorage:
+    def test_roundtrip_small(self, pool):
+        from repro.storage.catalog import Catalog
+
+        catalog = Catalog.create(pool)
+        catalog.save_blob("b", b"hello blob")
+        assert catalog.load_blob("b") == b"hello blob"
+
+    def test_roundtrip_multi_page(self, pool):
+        from repro.storage.catalog import Catalog
+
+        catalog = Catalog.create(pool)
+        data = bytes(range(256)) * 20  # ~5 KB over 512-byte pages
+        catalog.save_blob("big", data)
+        assert catalog.load_blob("big") == data
+
+    def test_replace_frees_old_chain(self, pool, disk):
+        from repro.storage.catalog import Catalog
+
+        catalog = Catalog.create(pool)
+        catalog.save_blob("b", b"x" * 3000)
+        before = disk.allocated_page_count
+        catalog.save_blob("b", b"y" * 3000)
+        assert disk.allocated_page_count == before
+        assert catalog.load_blob("b") == b"y" * 3000
+
+    def test_empty_blob(self, pool):
+        from repro.storage.catalog import Catalog
+
+        catalog = Catalog.create(pool)
+        catalog.save_blob("empty", b"")
+        assert catalog.load_blob("empty") == b""
+
+    def test_kind_checked(self, pool):
+        from repro.storage.catalog import Catalog, CatalogError
+        from repro.indexes.bptree import BPlusTree
+
+        catalog = Catalog.create(pool)
+        catalog.save_bptree("t", BPlusTree(pool))
+        with pytest.raises(CatalogError):
+            catalog.load_blob("t")
+
+
+class TestInMemoryDatabase:
+    @pytest.fixture
+    def db(self):
+        database = XmlDatabase.create()
+        database.add_document(DOC_A, name="alpha")
+        database.add_document(DOC_B, name="beta")
+        return database
+
+    def test_documents_registered(self, db):
+        assert db.documents() == [(1, "alpha"), (2, "beta")]
+        assert set(db.tags()) == {"dept", "emp", "name", "office"}
+
+    def test_element_counts(self, db):
+        assert db.element_count("emp") == 3
+        assert db.element_count("name") == 4
+        assert db.element_count() == 2 + 3 + 4 + 1
+
+    def test_query_spans_documents(self, db):
+        result = db.query("//emp//name")
+        assert len(result) == 3  # w, x from alpha; y from beta
+        names = [db.locate(match) for match in result.matches]
+        assert {name for name, _s, _e in names} == {"alpha", "beta"}
+
+    def test_query_with_predicate(self, db):
+        assert len(db.query("//emp[emp]")) == 1
+        assert len(db.query("//dept[office]/emp")) == 1
+
+    def test_joins_never_cross_documents(self, db):
+        result = db.query("//dept//name")
+        for match in result.matches:
+            assert match.doc_id in (1, 2)
+        assert len(result) == 4
+
+    def test_find_ancestors(self, db):
+        name_entries = db.entries_for_tag("name")
+        probe = name_entries[0]
+        ancestors = db.find_ancestors("emp", probe.start)
+        assert ancestors
+        assert all(a.doc_id == probe.doc_id for a in ancestors)
+
+    def test_dynamic_insert_preserves_invariants(self, db):
+        for tag in db.tags():
+            tree = db._tree_for(tag)
+            check_xrtree(tree)
+
+    def test_generated_document(self):
+        from repro.workloads import department_dataset
+
+        database = XmlDatabase.create(page_size=1024)
+        data = department_dataset(1500, seed=81)
+        database.add_document(data.document, name="generated")
+        result = database.query("//employee//name")
+        engine_truth = len(
+            __import__("repro.query", fromlist=["PathQueryEngine"])
+            .PathQueryEngine(data.document).evaluate("//employee//name")
+        )
+        assert len(result) == engine_truth
+
+    def test_long_tag_rejected(self):
+        database = XmlDatabase.create()
+        with pytest.raises(XmlDatabaseError):
+            database.add_document("<%s/>" % ("x" * 40))
+
+    def test_explain(self, db):
+        plan = db.explain("//emp//name")
+        assert "plan for //emp//name" in plan
+        assert "descendant-join emp" in plan
+
+    def test_verify(self, db):
+        assert db.verify() == len(db.tags())
+
+
+class TestRemoveDocument:
+    def test_remove_updates_queries(self):
+        db = XmlDatabase.create()
+        db.add_document(DOC_A, name="alpha")
+        db.add_document(DOC_B, name="beta")
+        before = len(db.query("//emp//name"))
+        db.remove_document(1)
+        after = db.query("//emp//name")
+        assert len(after) < before
+        assert all(m.doc_id == 2 for m in after.matches)
+        assert db.documents() == [(2, "beta")]
+
+    def test_indexes_stay_valid_after_removal(self):
+        from repro.workloads import department_dataset
+
+        db = XmlDatabase.create(page_size=1024)
+        data1 = department_dataset(800, seed=82)
+        data2 = department_dataset(800, seed=83)
+        db.add_document(data1.document, name="one")
+        db.add_document(data2.document, name="two")
+        db.remove_document(1)
+        for tag in db.tags():
+            check_xrtree(db._tree_for(tag))
+        result = db.query("//employee//name")
+        assert all(m.doc_id == 2 for m in result.matches)
+
+    def test_remove_unknown_or_twice_raises(self):
+        from repro.core.database import XmlDatabaseError
+
+        db = XmlDatabase.create()
+        db.add_document(DOC_A)
+        with pytest.raises(XmlDatabaseError):
+            db.remove_document(5)
+        db.remove_document(1)
+        with pytest.raises(XmlDatabaseError):
+            db.remove_document(1)
+
+    def test_remove_all_then_add(self):
+        db = XmlDatabase.create()
+        db.add_document(DOC_A)
+        db.remove_document(1)
+        assert db.element_count() == 0
+        new_id = db.add_document(DOC_B, name="fresh")
+        assert new_id == 2
+        assert len(db.query("//emp")) == 1
+
+    def test_removal_persists(self, tmp_path):
+        path = str(tmp_path / "rm.db")
+        with XmlDatabase.create(path, page_size=1024) as db:
+            db.add_document(DOC_A, name="alpha")
+            db.add_document(DOC_B, name="beta")
+            db.remove_document(2)
+        with XmlDatabase.open(path, page_size=1024) as db:
+            assert db.documents() == [(1, "alpha")]
+            assert all(m.doc_id == 1
+                       for m in db.query("//emp//name").matches)
+
+
+class TestPersistence:
+    def test_close_and_reopen(self, tmp_path):
+        path = str(tmp_path / "xml.db")
+        with XmlDatabase.create(path, page_size=1024) as db:
+            db.add_document(DOC_A, name="alpha")
+            db.add_document(DOC_B, name="beta")
+            before = db.query("//emp//name").starts()
+
+        with XmlDatabase.open(path, page_size=1024) as db:
+            assert db.documents() == [(1, "alpha"), (2, "beta")]
+            assert db.query("//emp//name").starts() == before
+            for tag in db.tags():
+                check_xrtree(db._tree_for(tag))
+
+    def test_add_after_reopen(self, tmp_path):
+        path = str(tmp_path / "xml2.db")
+        with XmlDatabase.create(path, page_size=1024) as db:
+            db.add_document(DOC_A)
+        with XmlDatabase.open(path, page_size=1024) as db:
+            db.add_document(DOC_B)
+            assert len(db.documents()) == 2
+            assert len(db.query("//emp//name")) == 3
+        with XmlDatabase.open(path, page_size=1024) as db:
+            assert len(db.documents()) == 2
+            assert len(db.query("//emp//name")) == 3

@@ -1,0 +1,153 @@
+"""Tests for the simulated disks (repro.storage.disk)."""
+
+import os
+
+import pytest
+
+from repro.storage.disk import FileDisk, InMemoryDisk, IOStats
+from repro.storage.errors import PageNotFoundError, StorageError
+
+
+class TestAllocation:
+    def test_allocate_returns_distinct_ids(self, disk):
+        ids = {disk.allocate() for _ in range(50)}
+        assert len(ids) == 50
+
+    def test_page_id_zero_is_never_allocated(self, disk):
+        ids = [disk.allocate() for _ in range(100)]
+        assert 0 not in ids
+
+    def test_free_recycles_ids(self, disk):
+        first = disk.allocate()
+        disk.free(first)
+        assert disk.allocate() == first
+
+    def test_free_unknown_page_raises(self, disk):
+        with pytest.raises(PageNotFoundError):
+            disk.free(12345)
+
+    def test_double_free_raises(self, disk):
+        page_id = disk.allocate()
+        disk.free(page_id)
+        with pytest.raises(PageNotFoundError):
+            disk.free(page_id)
+
+    def test_allocated_page_count_tracks_live_pages(self, disk):
+        ids = [disk.allocate() for _ in range(10)]
+        assert disk.allocated_page_count == 10
+        disk.free(ids[3])
+        disk.free(ids[7])
+        assert disk.allocated_page_count == 8
+
+
+class TestTransfers:
+    def test_write_then_read_roundtrip(self, disk):
+        page_id = disk.allocate()
+        disk.write(page_id, b"hello")
+        data = disk.read(page_id)
+        assert data.startswith(b"hello")
+        assert len(data) == disk.page_size
+
+    def test_fresh_page_reads_as_zeroes(self, disk):
+        page_id = disk.allocate()
+        assert disk.read(page_id) == bytes(disk.page_size)
+
+    def test_write_pads_to_page_size(self, disk):
+        page_id = disk.allocate()
+        disk.write(page_id, b"x")
+        assert len(disk.read(page_id)) == disk.page_size
+
+    def test_oversized_write_raises(self, disk):
+        page_id = disk.allocate()
+        with pytest.raises(StorageError):
+            disk.write(page_id, b"y" * (disk.page_size + 1))
+
+    def test_read_unknown_page_raises(self, disk):
+        with pytest.raises(PageNotFoundError):
+            disk.read(999)
+
+    def test_read_after_free_raises(self, disk):
+        page_id = disk.allocate()
+        disk.free(page_id)
+        with pytest.raises(PageNotFoundError):
+            disk.read(page_id)
+
+    def test_writes_do_not_leak_between_pages(self, disk):
+        a, b = disk.allocate(), disk.allocate()
+        disk.write(a, b"aaaa")
+        disk.write(b, b"bbbb")
+        assert disk.read(a).startswith(b"aaaa")
+        assert disk.read(b).startswith(b"bbbb")
+
+
+class TestStats:
+    def test_counters_track_operations(self, disk):
+        page_id = disk.allocate()
+        disk.write(page_id, b"x")
+        disk.read(page_id)
+        disk.read(page_id)
+        disk.free(page_id)
+        stats = disk.stats
+        assert (stats.allocations, stats.writes, stats.reads, stats.frees) \
+            == (1, 1, 2, 1)
+
+    def test_total_transfers(self):
+        stats = IOStats(reads=3, writes=4)
+        assert stats.total_transfers == 7
+
+    def test_snapshot_and_delta(self, disk):
+        disk.allocate()
+        before = disk.stats.snapshot()
+        page_id = disk.allocate()
+        disk.write(page_id, b"z")
+        delta = disk.stats.delta(before)
+        assert delta.allocations == 1
+        assert delta.writes == 1
+        assert delta.reads == 0
+
+    def test_reset(self, disk):
+        disk.allocate()
+        disk.stats.reset()
+        assert disk.stats.allocations == 0
+
+
+class TestPageSizeValidation:
+    def test_tiny_page_size_rejected(self):
+        with pytest.raises(StorageError):
+            InMemoryDisk(page_size=16)
+
+
+class TestFileDisk:
+    def test_roundtrip_through_real_file(self, tmp_path):
+        path = str(tmp_path / "pages.bin")
+        with FileDisk(path, page_size=256) as disk:
+            a = disk.allocate()
+            b = disk.allocate()
+            disk.write(a, b"first page")
+            disk.write(b, b"second page")
+            assert disk.read(a).startswith(b"first page")
+            assert disk.read(b).startswith(b"second page")
+        assert os.path.getsize(path) == 512
+
+    def test_free_then_reuse(self, tmp_path):
+        with FileDisk(str(tmp_path / "d.bin"), page_size=128) as disk:
+            a = disk.allocate()
+            disk.write(a, b"gone")
+            disk.free(a)
+            with pytest.raises(PageNotFoundError):
+                disk.read(a)
+            again = disk.allocate()
+            assert again == a
+            assert disk.read(again) == bytes(128)
+
+    def test_pages_at_correct_offsets(self, tmp_path):
+        path = str(tmp_path / "o.bin")
+        with FileDisk(path, page_size=128) as disk:
+            first = disk.allocate()
+            second = disk.allocate()
+            disk.write(second, b"@2")
+            disk.write(first, b"@1")
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        assert raw[0:2] == b"@1"
+        assert raw[128:130] == b"@2"

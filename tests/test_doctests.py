@@ -1,0 +1,21 @@
+"""Run the doctests embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.query.engine
+import repro.query.path
+
+
+@pytest.mark.parametrize("module", [
+    repro.query.path,
+    repro.query.engine,
+])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, "%d doctest failures in %s" % (
+        results.failed, module.__name__)
+    # At least the modules that advertise examples actually carry some.
+    if module is repro.query.path:
+        assert results.attempted >= 3

@@ -1,0 +1,119 @@
+"""Tests for the DTD model and parser (repro.xmldata.dtd)."""
+
+import pytest
+
+from repro.xmldata.dtd import (
+    CONFERENCE_DTD,
+    DEPARTMENT_DTD,
+    Cardinality,
+    DtdError,
+    parse_dtd,
+)
+
+
+class TestCardinality:
+    def test_minimums(self):
+        assert Cardinality.ONE.minimum == 1
+        assert Cardinality.ONE_OR_MORE.minimum == 1
+        assert Cardinality.OPTIONAL.minimum == 0
+        assert Cardinality.ZERO_OR_MORE.minimum == 0
+
+    def test_repeatable(self):
+        assert Cardinality.ZERO_OR_MORE.repeatable
+        assert Cardinality.ONE_OR_MORE.repeatable
+        assert not Cardinality.ONE.repeatable
+        assert not Cardinality.OPTIONAL.repeatable
+
+
+class TestParsing:
+    def test_simple_sequence(self):
+        dtd = parse_dtd("""
+            <!ELEMENT a (b, c?, d*)>
+            <!ELEMENT b (#PCDATA)>
+            <!ELEMENT c (#PCDATA)>
+            <!ELEMENT d (#PCDATA)>
+        """)
+        decl = dtd.declaration("a")
+        assert [(s.tag, s.cardinality) for s in decl.children] == [
+            ("b", Cardinality.ONE),
+            ("c", Cardinality.OPTIONAL),
+            ("d", Cardinality.ZERO_OR_MORE),
+        ]
+
+    def test_first_declaration_is_root(self):
+        dtd = parse_dtd("<!ELEMENT x (y*)>\n<!ELEMENT y (#PCDATA)>")
+        assert dtd.root_tag == "x"
+
+    def test_explicit_root_override(self):
+        dtd = parse_dtd("<!ELEMENT x (y*)>\n<!ELEMENT y (#PCDATA)>",
+                        root_tag="y")
+        assert dtd.root_tag == "y"
+
+    def test_pcdata_is_text_leaf(self):
+        dtd = parse_dtd("<!ELEMENT t (#PCDATA)>")
+        assert dtd.declaration("t").is_text
+        assert dtd.declaration("t").children == ()
+
+    def test_empty_content_model(self):
+        dtd = parse_dtd("<!ELEMENT hr EMPTY>")
+        assert not dtd.declaration("hr").is_text
+
+    def test_undeclared_child_rejected(self):
+        with pytest.raises(DtdError):
+            parse_dtd("<!ELEMENT a (ghost)>")
+
+    def test_no_declarations_rejected(self):
+        with pytest.raises(DtdError):
+            parse_dtd("plain text")
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(DtdError):
+            parse_dtd("<!ELEMENT a (#PCDATA)>", root_tag="zzz")
+
+    def test_unknown_tag_lookup_raises(self):
+        dtd = parse_dtd("<!ELEMENT a (#PCDATA)>")
+        with pytest.raises(DtdError):
+            dtd.declaration("b")
+
+
+class TestRecursion:
+    def test_direct_recursion_detected(self):
+        dtd = parse_dtd("""
+            <!ELEMENT e (f?, e*)>
+            <!ELEMENT f (#PCDATA)>
+        """)
+        assert dtd.is_recursive("e")
+        assert not dtd.is_recursive("f")
+
+    def test_indirect_recursion_detected(self):
+        dtd = parse_dtd("""
+            <!ELEMENT a (b*)>
+            <!ELEMENT b (a?)>
+        """)
+        assert dtd.is_recursive("a")
+        assert dtd.is_recursive("b")
+
+
+class TestPaperDtds:
+    def test_department_structure(self):
+        decl = DEPARTMENT_DTD.declaration("employee")
+        tags = [s.tag for s in decl.children]
+        assert tags == ["name", "email", "employee"]
+        assert DEPARTMENT_DTD.is_recursive("employee")
+        assert DEPARTMENT_DTD.root_tag == "departments"
+
+    def test_conference_structure(self):
+        decl = CONFERENCE_DTD.declaration("paper")
+        assert [s.tag for s in decl.children] == ["title", "author"]
+        assert not CONFERENCE_DTD.is_recursive("paper")
+        assert CONFERENCE_DTD.root_tag == "conferences"
+
+    def test_conference_author_required(self):
+        decl = CONFERENCE_DTD.declaration("paper")
+        author = [s for s in decl.children if s.tag == "author"][0]
+        assert author.cardinality is Cardinality.ONE_OR_MORE
+
+    def test_tags_listing(self):
+        assert DEPARTMENT_DTD.tags() == [
+            "department", "departments", "email", "employee", "name",
+        ]

@@ -1,0 +1,70 @@
+"""Tests for the XR-tree dump utilities (repro.indexes.xrtree.dump)."""
+
+import pytest
+
+from repro.indexes.xrtree import XRTree
+from repro.indexes.xrtree.dump import dump_xrtree, stab_summary
+from tests.conftest import entry
+from tests.test_xrtree_structure import figure1_entries
+
+
+@pytest.fixture
+def figure1_tree(pool):
+    tree = XRTree(pool, leaf_capacity=4, internal_capacity=3)
+    tree.bulk_load(figure1_entries())
+    return tree
+
+
+class TestDump:
+    def test_empty_tree(self, pool):
+        assert dump_xrtree(XRTree(pool)) == "<empty XR-tree>"
+
+    def test_header_line(self, figure1_tree):
+        text = dump_xrtree(figure1_tree)
+        assert text.startswith("XR-tree: 12 elements, height")
+
+    def test_shows_keys_with_pspe(self, figure1_tree):
+        text = dump_xrtree(figure1_tree)
+        assert "(k=" in text
+        assert "ps=" in text and "pe=" in text
+
+    def test_shows_stab_lists_and_flags(self, figure1_tree):
+        text = dump_xrtree(figure1_tree)
+        assert "stab list (" in text
+        assert ",S)" in text  # some leaf entry is flagged
+
+    def test_figure1_regions_present(self, figure1_tree):
+        text = dump_xrtree(figure1_tree)
+        assert "(2,15" in text
+        assert "(20,75" in text
+
+    def test_truncation(self, pool):
+        tree = XRTree(pool)
+        tree.bulk_load([entry(i * 3, i * 3 + 1) for i in range(1, 60)])
+        text = dump_xrtree(tree, max_leaf_entries=2)
+        assert "more" in text
+
+    def test_dump_leaves_no_pins(self, figure1_tree, pool):
+        dump_xrtree(figure1_tree)
+        assert pool.pinned_count == 0
+
+
+class TestStabSummary:
+    def test_empty(self, pool):
+        assert stab_summary(XRTree(pool)) == []
+
+    def test_rows_cover_internal_nodes(self, figure1_tree):
+        rows = stab_summary(figure1_tree)
+        assert rows
+        assert rows[0]["depth"] == 0
+        total_stabbed = sum(row["stab_count"] for row in rows)
+        flagged = sum(1 for e in figure1_tree.items() if e.in_stab_list)
+        assert total_stabbed == flagged
+
+    def test_directory_flag(self, pool):
+        tree = XRTree(pool, leaf_capacity=4, internal_capacity=3)
+        for i in range(1, 120):
+            tree.insert(entry(i, 4000 - i))
+        rows = stab_summary(tree)
+        assert any(row["has_directory"] for row in rows)
+        assert any(row["stab_pages"] > 1 for row in rows)

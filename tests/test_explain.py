@@ -1,0 +1,61 @@
+"""Tests for query plan explanation (PathQueryEngine.explain)."""
+
+import pytest
+
+from repro.query import PathQueryEngine
+from repro.xmldata.parser import parse_document
+
+SOURCE = """
+<dept>
+  <emp id="e1"><name>w</name><email/>
+    <emp id="e2"><name>x</name></emp>
+  </emp>
+</dept>
+"""
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return PathQueryEngine(parse_document(SOURCE))
+
+
+class TestExplain:
+    def test_single_step(self, engine):
+        plan = engine.explain("//emp")
+        assert "scan emp" in plan
+        assert "-> 2 elements" in plan
+
+    def test_join_lines(self, engine):
+        plan = engine.explain("//dept//emp/name")
+        assert "descendant-join dept (1) with emp (2)" in plan
+        assert "child-join emp (2) with name (2)" in plan
+
+    def test_structural_predicate_line(self, engine):
+        plan = engine.explain("//emp[email]/name")
+        assert "semi-join filter [email]" in plan
+
+    def test_value_predicate_line(self, engine):
+        plan = engine.explain('//emp[@id="e1"]')
+        assert 'filter [@id="e1"] (value lookup per match)' in plan
+
+    def test_estimates_present(self, engine):
+        plan = engine.explain("//dept//emp")
+        assert "~" in plan and "pairs" in plan
+
+    def test_explain_does_not_execute_joins(self, engine):
+        # explain() must not run semi-joins: a path over a huge synthetic
+        # set explains instantly and leaves no join statistics behind.
+        plan = engine.explain("//dept//emp//name")
+        assert plan.startswith("plan for //dept//emp//name")
+
+    def test_strategy_shown(self):
+        engine = PathQueryEngine(parse_document(SOURCE),
+                                 strategy="stack-tree")
+        assert "strategy=stack-tree" in engine.explain("//emp")
+
+    def test_plan_matches_execution(self, engine):
+        # Sanity: the sizes explain() prints are the sizes evaluate() uses.
+        plan = engine.explain("//emp/name")
+        result = engine.evaluate("//emp/name")
+        assert "emp (2)" in plan
+        assert len(result) == 2

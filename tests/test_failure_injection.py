@@ -1,0 +1,124 @@
+"""Failure-injection and robustness tests across the stack."""
+
+import pytest
+
+from repro.indexes.bptree import BPlusTree
+from repro.indexes.xrtree import XRTree, check_xrtree
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDisk
+from repro.storage.errors import BufferPoolError, PageDecodeError
+from tests.conftest import entry
+
+
+class TestCorruptPages:
+    def test_corrupt_type_byte_detected_on_fetch(self):
+        disk = InMemoryDisk(512)
+        pool = BufferPool(disk, capacity=4)
+        tree = BPlusTree(pool)
+        tree.bulk_load([entry(k, k + 100) for k in range(1, 50)])
+        pool.flush_all()
+        pool.clear()
+        # Smash the root page's type byte on disk.
+        raw = bytearray(disk.read(tree.root_id))
+        disk.stats.reads -= 1
+        raw[0] = 250
+        disk.write(tree.root_id, bytes(raw))
+        with pytest.raises(PageDecodeError):
+            tree.search(10)
+
+    def test_truncated_page_payload_detected(self):
+        disk = InMemoryDisk(512)
+        pool = BufferPool(disk, capacity=4)
+        tree = XRTree(pool)
+        for k in range(1, 40):
+            tree.insert(entry(k, k + 1000))
+        pool.flush_all()
+        pool.clear()
+        # A record count larger than the page's actual payload.
+        raw = bytearray(disk.read(tree.root_id))
+        disk.stats.reads -= 1
+        raw[1] = 0xFF
+        raw[2] = 0xFF
+        disk.write(tree.root_id, bytes(raw))
+        with pytest.raises(Exception):
+            list(tree.items())
+
+
+class TestBufferPressure:
+    def test_xrtree_works_with_minimal_frames(self):
+        # The tallest pin chain of any operation must fit the pool.
+        pool = BufferPool(InMemoryDisk(512), capacity=6)
+        tree = XRTree(pool, leaf_capacity=4, internal_capacity=3)
+        entries = [entry(i, 4000 - i) for i in range(1, 200)]
+        for e in entries:
+            tree.insert(e)
+        check_xrtree(tree)
+        assert [a.start for a in tree.find_ancestors(500)] == \
+            list(range(1, 200))
+        for e in entries[::2]:
+            assert tree.delete(e.start) is not None
+        check_xrtree(tree)
+
+    def test_eviction_storm_preserves_data(self):
+        disk = InMemoryDisk(512)
+        pool = BufferPool(disk, capacity=3)
+        tree = BPlusTree(pool)
+        keys = list(range(1, 800))
+        for k in keys:
+            tree.insert(entry(k, k + 10000))
+        assert pool.stats.evictions > 10
+        assert [e.start for e in tree.items()] == keys
+
+    def test_join_under_pressure_matches_oracle(self, dept_data):
+        from repro.core.api import StorageContext, structural_join, \
+            oracle_join
+        from repro.joins.base import sort_pairs
+
+        context = StorageContext(page_size=512, buffer_pages=12)
+        outcome = structural_join(dept_data.ancestors,
+                                  dept_data.descendants,
+                                  algorithm="xr-stack", context=context)
+        assert sort_pairs(outcome.pairs) == oracle_join(
+            dept_data.ancestors, dept_data.descendants
+        )
+
+
+class TestApiMisuse:
+    def test_double_unpin_raises(self):
+        pool = BufferPool(InMemoryDisk(512), capacity=4)
+        from repro.storage.pages import RawPage
+
+        page = pool.new_page(RawPage(b"x"))
+        pool.unpin(page)
+        with pytest.raises(BufferPoolError):
+            pool.unpin(page)
+
+    def test_xrtree_rejects_inverted_region(self):
+        # A region with end <= start violates the model; the checker flags
+        # it even though insert itself is geometry-agnostic.
+        pool = BufferPool(InMemoryDisk(512), capacity=8)
+        tree = XRTree(pool)
+        tree.insert(entry(10, 5))
+        with pytest.raises(Exception):
+            check_xrtree(tree)
+
+    def test_operations_leave_no_pins_after_errors(self):
+        pool = BufferPool(InMemoryDisk(512), capacity=8)
+        tree = XRTree(pool, leaf_capacity=4, internal_capacity=3)
+        for k in range(1, 30):
+            tree.insert(entry(k, k + 1000))
+        from repro.indexes.xrtree import XRTreeError
+
+        with pytest.raises(XRTreeError):
+            tree.insert(entry(5, 99999))  # duplicate
+        assert pool.pinned_count == 0
+
+    def test_generator_stats_survive_reset_mid_run(self):
+        disk = InMemoryDisk(512)
+        pool = BufferPool(disk, capacity=8)
+        tree = BPlusTree(pool)
+        for k in range(1, 100):
+            tree.insert(entry(k, k + 100))
+        disk.stats.reset()
+        pool.reset_stats()
+        assert tree.search(50) is not None  # still fully functional

@@ -1,0 +1,119 @@
+"""Tests for the synthetic data generator (repro.xmldata.generator)."""
+
+import pytest
+
+from repro.xmldata.dtd import CONFERENCE_DTD, DEPARTMENT_DTD, parse_dtd
+from repro.xmldata.generator import GeneratorConfig, XmlGenerator
+
+
+class TestDeterminism:
+    def test_same_seed_same_document(self):
+        a = XmlGenerator(DEPARTMENT_DTD, seed=3).generate(500)
+        b = XmlGenerator(DEPARTMENT_DTD, seed=3).generate(500)
+        assert [(n.tag, n.start, n.end) for n in a] == \
+            [(n.tag, n.start, n.end) for n in b]
+
+    def test_different_seed_different_document(self):
+        a = XmlGenerator(DEPARTMENT_DTD, seed=3).generate(500)
+        b = XmlGenerator(DEPARTMENT_DTD, seed=4).generate(500)
+        assert [(n.tag, n.start) for n in a] != [(n.tag, n.start) for n in b]
+
+
+class TestValidity:
+    @pytest.mark.parametrize("dtd", [DEPARTMENT_DTD, CONFERENCE_DTD])
+    def test_generated_documents_validate(self, dtd):
+        document = XmlGenerator(dtd, seed=1).generate(800)
+        assert document.validate()
+
+    def test_root_tag_matches_dtd(self):
+        document = XmlGenerator(CONFERENCE_DTD, seed=1).generate(100)
+        assert document.root.tag == "conferences"
+
+    def test_only_declared_tags_appear(self):
+        document = XmlGenerator(DEPARTMENT_DTD, seed=2).generate(500)
+        assert document.tags() <= set(DEPARTMENT_DTD.tags()) | {"departments"}
+
+    def test_doc_id_assignment(self):
+        document = XmlGenerator(DEPARTMENT_DTD, seed=2).generate(100, doc_id=9)
+        assert document.doc_id == 9
+
+    def test_corpus_consecutive_ids(self):
+        docs = XmlGenerator(DEPARTMENT_DTD, seed=2).generate_corpus(
+            3, 100, first_doc_id=5
+        )
+        assert [d.doc_id for d in docs] == [5, 6, 7]
+
+
+class TestSizeControl:
+    def test_reaches_target(self):
+        document = XmlGenerator(DEPARTMENT_DTD, seed=1).generate(2000)
+        assert document.element_count() >= 2000
+
+    def test_does_not_wildly_overshoot(self):
+        document = XmlGenerator(DEPARTMENT_DTD, seed=1).generate(2000)
+        assert document.element_count() < 2000 * 3
+
+    def test_small_target(self):
+        document = XmlGenerator(CONFERENCE_DTD, seed=1).generate(1)
+        assert document.element_count() >= 1
+
+
+class TestNestingControl:
+    def test_max_depth_caps_tree_height(self):
+        config = GeneratorConfig(max_depth=5, recursion_decay=0.99)
+        document = XmlGenerator(DEPARTMENT_DTD, config, seed=1).generate(1000)
+        assert document.max_nesting() <= 5
+
+    def test_recursive_dtd_nests_deeper_than_flat(self):
+        dept = XmlGenerator(
+            DEPARTMENT_DTD,
+            GeneratorConfig(mean_repeat=2.0, recursion_decay=0.8),
+            seed=1,
+        ).generate(2000)
+        conf = XmlGenerator(CONFERENCE_DTD, seed=1).generate(2000)
+        assert dept.max_nesting("employee") >= 3
+        assert conf.max_nesting("paper") == 1
+
+    def test_decay_reduces_nesting(self):
+        deep = XmlGenerator(
+            DEPARTMENT_DTD,
+            GeneratorConfig(mean_repeat=2.0, recursion_decay=0.9,
+                            max_depth=40),
+            seed=6,
+        ).generate(3000)
+        shallow = XmlGenerator(
+            DEPARTMENT_DTD,
+            GeneratorConfig(mean_repeat=2.0, recursion_decay=0.3,
+                            max_depth=40),
+            seed=6,
+        ).generate(3000)
+        assert deep.max_nesting("employee") > shallow.max_nesting("employee")
+
+
+class TestConfigValidation:
+    def test_bad_mean_repeat(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(mean_repeat=0)
+
+    def test_bad_optional_probability(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(optional_probability=1.5)
+
+    def test_bad_decay(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(recursion_decay=0.0)
+
+    def test_bad_depth(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(max_depth=0)
+
+
+class TestNonRepeatableRoot:
+    def test_degenerate_dtd_without_growth_unit(self):
+        dtd = parse_dtd("""
+            <!ELEMENT root (only?)>
+            <!ELEMENT only (#PCDATA)>
+        """)
+        document = XmlGenerator(dtd, seed=1).generate(50)
+        assert document.element_count() >= 1
+        assert document.validate()

@@ -1,0 +1,112 @@
+"""Property-based tests for the holistic executors on multi-tag documents."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.path import Axis
+from repro.query.pathstack import path_stack
+from repro.query.twigjoin import twig_from_path, twig_join, twig_stack_join
+from repro.xmldata.model import Document, Element, annotate_regions
+
+TAGS = ("a", "b", "c")
+
+
+def multi_tag_document(shape):
+    """A random document whose tags cycle with depth (a > b > c > a ...)."""
+    root = Element("a")
+    frontier = [root]
+    for value in shape:
+        node = frontier.pop(0)
+        tag = TAGS[(TAGS.index(node.tag) + 1) % len(TAGS)]
+        for _ in range(value % 4):
+            frontier.append(node.add_child(Element(tag)))
+        if not frontier:
+            break
+    annotate_regions(root)
+    return Document(root)
+
+
+def oracle_matches(document, path_text):
+    root, _ = twig_from_path(path_text)
+    nodes = root.preorder()
+    candidates = [document.elements_by_tag(node.tag) for node in nodes]
+    out = set()
+    for combo in itertools.product(*candidates):
+        ok = True
+        for position, node in enumerate(nodes):
+            if node.parent is None:
+                continue
+            parent_element = combo[node.parent.index]
+            element = combo[position]
+            if not (parent_element.start < element.start
+                    and element.end < parent_element.end):
+                ok = False
+                break
+            if node.axis is Axis.CHILD and \
+                    parent_element.level != element.level - 1:
+                ok = False
+                break
+        if ok:
+            out.add(tuple(e.start for e in combo))
+    return sorted(out)
+
+
+shapes = st.lists(st.integers(min_value=0, max_value=3),
+                  min_size=2, max_size=50)
+
+TWIGS = ("//a//b", "//a/b", "//a[b]//b", "//a[b/c]", "//b[c]",
+         "//a//b//c", "//a//b/c", "//a[b][b/c]")
+
+
+@given(shapes, st.sampled_from(TWIGS))
+@settings(max_examples=80, deadline=None)
+def test_twig_join_matches_oracle(shape, twig):
+    document = multi_tag_document(shape)
+    root, _ = twig_from_path(twig)
+    result = twig_join(document.entries_for_tag, root)
+    got = sorted({tuple(e.start for e in match)
+                  for match in result.matches})
+    assert got == oracle_matches(document, twig)
+
+
+@given(shapes, st.sampled_from(TWIGS))
+@settings(max_examples=80, deadline=None)
+def test_twig_stack_matches_oracle(shape, twig):
+    document = multi_tag_document(shape)
+    root, _ = twig_from_path(twig)
+    result = twig_stack_join(document.entries_for_tag, root)
+    got = sorted({tuple(e.start for e in match)
+                  for match in result.matches})
+    assert got == oracle_matches(document, twig)
+
+
+@given(shapes, st.sampled_from(("//a//b", "//a/b", "//a//b//c",
+                                "//a//b/c", "//b//c")))
+@settings(max_examples=60, deadline=None)
+def test_pathstack_matches_oracle(shape, path):
+    document = multi_tag_document(shape)
+    from repro.query.pathstack import evaluate_path_stack
+
+    result = evaluate_path_stack(document, path)
+    got = sorted({tuple(e.start for e in solution)
+                  for solution in result.solutions})
+    assert got == oracle_matches(document, path)
+
+
+@given(shapes)
+@settings(max_examples=40, deadline=None)
+def test_optimized_and_plain_twig_agree(shape):
+    document = multi_tag_document(shape)
+    for twig in TWIGS:
+        root1, _ = twig_from_path(twig)
+        plain = twig_join(document.entries_for_tag, root1)
+        root2, _ = twig_from_path(twig)
+        optimized = twig_stack_join(document.entries_for_tag, root2)
+        key = lambda m: tuple(e.start for e in m)
+        assert sorted(plain.matches, key=key) == \
+            sorted(optimized.matches, key=key), twig
+        # getNext never scans more than the exhaustive pass.
+        assert optimized.stats.elements_scanned <= \
+            plain.stats.elements_scanned + 1

@@ -1,0 +1,82 @@
+"""Property-based join tests: every algorithm equals the nested-loop oracle
+on arbitrary valid region sets."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins import (
+    bplus_join,
+    mpmgjn_join,
+    nested_loop_join,
+    stack_tree_join,
+    xr_stack_join,
+)
+from repro.joins.base import sort_pairs
+from tests.test_joins import run
+from tests.test_xrtree_property import tree_shape_to_entries
+
+shapes = st.lists(st.integers(min_value=0, max_value=3),
+                  min_size=1, max_size=80)
+
+
+def split_sets(entries, selector_bits):
+    """Partition one element list into (possibly overlapping) A and D."""
+    ancestors, descendants = [], []
+    for index, element in enumerate(entries):
+        bit = selector_bits[index % len(selector_bits)]
+        if bit in (0, 2):
+            ancestors.append(element)
+        if bit in (1, 2):
+            descendants.append(element)
+    return ancestors, descendants
+
+
+@given(shapes, st.lists(st.integers(min_value=0, max_value=2),
+                        min_size=1, max_size=7))
+@settings(max_examples=40, deadline=None)
+def test_all_algorithms_match_oracle(shape, bits):
+    entries = tree_shape_to_entries(shape)
+    ancestors, descendants = split_sets(entries, bits)
+    expected = nested_loop_join(ancestors, descendants)
+    for algorithm in (stack_tree_join, mpmgjn_join, bplus_join,
+                      xr_stack_join):
+        pairs, stats = run(algorithm, ancestors, descendants)
+        assert sort_pairs(pairs) == expected
+        assert stats.pairs == len(expected)
+
+
+@given(shapes, st.lists(st.integers(min_value=0, max_value=2),
+                        min_size=1, max_size=7))
+@settings(max_examples=30, deadline=None)
+def test_parent_child_matches_oracle(shape, bits):
+    entries = tree_shape_to_entries(shape)
+    ancestors, descendants = split_sets(entries, bits)
+    expected = nested_loop_join(ancestors, descendants, parent_child=True)
+    for algorithm in (stack_tree_join, bplus_join, xr_stack_join):
+        pairs, _ = run(algorithm, ancestors, descendants, parent_child=True)
+        assert sort_pairs(pairs) == expected
+
+
+@given(shapes)
+@settings(max_examples=30, deadline=None)
+def test_full_overlap_self_join(shape):
+    entries = tree_shape_to_entries(shape)
+    expected = nested_loop_join(entries, entries)
+    for algorithm in (stack_tree_join, mpmgjn_join, bplus_join,
+                      xr_stack_join):
+        pairs, _ = run(algorithm, entries, entries)
+        assert sort_pairs(pairs) == expected
+
+
+@given(shapes, st.lists(st.integers(min_value=0, max_value=2),
+                        min_size=1, max_size=5))
+@settings(max_examples=25, deadline=None)
+def test_pair_counts_agree_across_algorithms(shape, bits):
+    entries = tree_shape_to_entries(shape)
+    ancestors, descendants = split_sets(entries, bits)
+    counts = set()
+    for algorithm in (stack_tree_join, mpmgjn_join, bplus_join,
+                      xr_stack_join):
+        _, stats = run(algorithm, ancestors, descendants, collect=False)
+        counts.add(stats.pairs)
+    assert len(counts) == 1

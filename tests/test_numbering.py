@@ -1,0 +1,140 @@
+"""Tests for the three numbering schemes (repro.xmldata.numbering).
+
+The key property (Section 2.1): all three schemes answer the
+ancestor-descendant question identically on any document.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmldata.generator import GeneratorConfig, XmlGenerator
+from repro.xmldata.dtd import DEPARTMENT_DTD
+from repro.xmldata.model import Document, Element, annotate_regions
+from repro.xmldata.numbering import (
+    annotate_dietz,
+    annotate_durable,
+    is_ancestor_dietz,
+    is_ancestor_durable,
+    is_ancestor_region,
+    is_parent_region,
+)
+
+
+def random_tree(shape, max_children=3):
+    """Deterministic tree from a sequence of child-count choices."""
+    root = Element("r")
+    frontier = [root]
+    for value in shape:
+        node = frontier.pop(0)
+        for i in range(value % (max_children + 1)):
+            frontier.append(node.add_child(Element("c")))
+        if not frontier:
+            break
+    annotate_regions(root)
+    return Document(root)
+
+
+def truth_pairs(document):
+    """(ancestor, descendant) identity pairs via parent pointers."""
+    pairs = set()
+    for node in document:
+        walker = node.parent
+        while walker is not None:
+            pairs.add((id(walker), id(node)))
+            walker = walker.parent
+    return pairs
+
+
+class TestSchemeAgreement:
+    @given(st.lists(st.integers(min_value=0, max_value=3),
+                    min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_all_schemes_agree_with_parent_pointers(self, shape):
+        document = random_tree(shape)
+        durable = annotate_durable(document)
+        dietz = annotate_dietz(document)
+        truth = truth_pairs(document)
+        nodes = list(document)
+        for u in nodes:
+            for v in nodes:
+                if u is v:
+                    continue
+                expected = (id(u), id(v)) in truth
+                assert is_ancestor_region(u, v) == expected
+                assert is_ancestor_durable(durable[id(u)],
+                                           durable[id(v)]) == expected
+                assert is_ancestor_dietz(dietz[id(u)],
+                                         dietz[id(v)]) == expected
+
+    def test_generated_document_agreement(self):
+        generator = XmlGenerator(
+            DEPARTMENT_DTD, GeneratorConfig(max_depth=10), seed=5
+        )
+        document = generator.generate(300)
+        durable = annotate_durable(document)
+        dietz = annotate_dietz(document)
+        nodes = list(document)[:80]
+        for u in nodes:
+            for v in nodes:
+                if u is v:
+                    continue
+                r = is_ancestor_region(u, v)
+                assert r == is_ancestor_durable(durable[id(u)], durable[id(v)])
+                assert r == is_ancestor_dietz(dietz[id(u)], dietz[id(v)])
+
+
+class TestDurableProperties:
+    def test_orders_are_preorder_ranks(self):
+        document = random_tree([2, 2, 0, 1, 0])
+        durable = annotate_durable(document)
+        orders = [durable[id(node)].order for node in document]
+        assert orders == sorted(orders)
+        assert orders[0] == 1
+
+    def test_size_is_subtree_count(self):
+        document = random_tree([2, 1, 1])
+        durable = annotate_durable(document)
+        for node in document:
+            assert durable[id(node)].size == \
+                sum(1 for _ in node.iter_subtree())
+
+
+class TestDietzProperties:
+    def test_pre_and_post_are_permutations(self):
+        document = random_tree([3, 2, 1, 0, 2])
+        dietz = annotate_dietz(document)
+        n = document.element_count()
+        assert sorted(c.pre for c in dietz.values()) == list(range(1, n + 1))
+        assert sorted(c.post for c in dietz.values()) == list(range(1, n + 1))
+
+    def test_root_has_first_pre_and_last_post(self):
+        document = random_tree([2, 2])
+        dietz = annotate_dietz(document)
+        code = dietz[id(document.root)]
+        assert code.pre == 1
+        assert code.post == document.element_count()
+
+
+class TestParentPredicate:
+    def test_parent_requires_adjacent_levels(self):
+        document = random_tree([1, 1, 0])
+        nodes = list(document)
+        root, child = nodes[0], nodes[1]
+        assert is_parent_region(root, child)
+        if len(nodes) > 2:
+            grandchild = nodes[2]
+            assert not is_parent_region(root, grandchild)
+
+
+class TestDeepDocuments:
+    def test_annotators_survive_deep_nesting(self):
+        root = Element("a")
+        node = root
+        for _ in range(3000):
+            node = node.add_child(Element("a"))
+        annotate_regions(root)
+        document = Document(root)
+        durable = annotate_durable(document)
+        dietz = annotate_dietz(document)
+        assert durable[id(root)].size == 3001
+        assert dietz[id(root)].post == 3001

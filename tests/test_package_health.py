@@ -1,0 +1,77 @@
+"""Package-level health checks: imports, exports, and API consistency."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return names
+
+
+class TestImports:
+    def test_every_module_imports(self):
+        failures = []
+        for name in _all_modules():
+            if name.endswith("__main__"):
+                continue  # CLIs run main() on import via runpy only
+            try:
+                importlib.import_module(name)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                failures.append((name, exc))
+        assert not failures, failures
+
+    def test_module_count_is_substantial(self):
+        assert len(_all_modules()) >= 30
+
+    def test_all_exports_resolve(self):
+        for package_name in ("repro", "repro.storage", "repro.xmldata",
+                             "repro.indexes", "repro.joins",
+                             "repro.workloads", "repro.query",
+                             "repro.core", "repro.bench"):
+            package = importlib.import_module(package_name)
+            for symbol in getattr(package, "__all__", []):
+                assert hasattr(package, symbol), (package_name, symbol)
+
+
+class TestApiConsistency:
+    def test_algorithms_tuple_matches_dispatch(self, dept_data):
+        from repro.core.api import ALGORITHMS, structural_join
+
+        for algorithm in ALGORITHMS:
+            outcome = structural_join(dept_data.ancestors[:50],
+                                      dept_data.descendants[:50],
+                                      algorithm=algorithm)
+            assert outcome.algorithm == algorithm
+
+    def test_stack_tree_anc_through_public_api(self, dept_data):
+        from repro.core import structural_join
+        from repro.core.api import oracle_join
+        from repro.joins.base import sort_pairs
+
+        outcome = structural_join(dept_data.ancestors,
+                                  dept_data.descendants,
+                                  algorithm="stack-tree-anc")
+        assert sort_pairs(outcome.pairs) == oracle_join(
+            dept_data.ancestors, dept_data.descendants)
+        order = [(a.start, d.start) for a, d in outcome.pairs]
+        assert order == sorted(order)
+
+    def test_version_string(self):
+        assert repro.__version__
+
+    def test_docstrings_everywhere(self):
+        missing = []
+        for name in _all_modules():
+            if name.endswith("__main__"):
+                continue
+            module = importlib.import_module(name)
+            if not (module.__doc__ or "").strip():
+                missing.append(name)
+        assert not missing, "modules without docstrings: %s" % missing

@@ -1,0 +1,108 @@
+"""Tests for page codecs and ElementEntry (repro.storage.pages)."""
+
+import pytest
+
+from repro.storage.errors import PageDecodeError
+from repro.storage.pages import ElementEntry, Page, RawPage, page_codec
+from tests.conftest import entry
+
+
+class TestRawPageCodec:
+    def test_roundtrip(self):
+        page = RawPage(b"payload bytes")
+        data = page.encode(256)
+        decoded = Page.decode(data, 256)
+        assert isinstance(decoded, RawPage)
+        assert decoded.payload == b"payload bytes"
+
+    def test_empty_payload(self):
+        decoded = Page.decode(RawPage(b"").encode(128), 128)
+        assert decoded.payload == b""
+
+    def test_decode_with_trailing_padding(self):
+        data = RawPage(b"abc").encode(64) + b"\x00" * 32
+        assert Page.decode(data, 64).payload == b"abc"
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(PageDecodeError):
+            RawPage(b"x" * 300).encode(256)
+
+    def test_unknown_type_byte_rejected(self):
+        with pytest.raises(PageDecodeError):
+            Page.decode(bytes([250]) + b"junk", 64)
+
+    def test_empty_image_rejected(self):
+        with pytest.raises(PageDecodeError):
+            Page.decode(b"", 64)
+
+    def test_codec_registry_lookup(self):
+        assert page_codec(RawPage.TYPE_ID) is RawPage
+
+
+class TestElementEntryCodec:
+    def test_pack_unpack_roundtrip(self):
+        original = ElementEntry(3, 17, 90, 4, True, 1234567890123)
+        packed = original.pack()
+        assert len(packed) == ElementEntry.SIZE
+        restored = ElementEntry.unpack_from(packed, 0)
+        assert restored == original
+        assert restored.in_stab_list is True
+        assert restored.ptr == 1234567890123
+
+    def test_unpack_at_offset(self):
+        a = entry(1, 10)
+        b = entry(2, 5)
+        blob = a.pack() + b.pack()
+        assert ElementEntry.unpack_from(blob, ElementEntry.SIZE) == b
+
+    def test_negative_doc_id_roundtrips(self):
+        original = ElementEntry(-1, 5, 9, 0)
+        assert ElementEntry.unpack_from(original.pack(), 0) == original
+
+
+class TestElementEntryPredicates:
+    def test_contains_strict_nesting(self):
+        outer, inner = entry(1, 100), entry(5, 50)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_contains_requires_same_document(self):
+        assert not entry(1, 100, doc=1).contains(entry(5, 50, doc=2))
+
+    def test_element_does_not_contain_itself(self):
+        e = entry(3, 9)
+        assert not e.contains(e)
+
+    def test_disjoint_regions_do_not_contain(self):
+        assert not entry(1, 4).contains(entry(5, 9))
+
+    def test_is_parent_of_checks_level(self):
+        parent = entry(1, 100, level=2)
+        child = entry(5, 50, level=3)
+        grandchild = entry(10, 20, level=4)
+        assert parent.is_parent_of(child)
+        assert not parent.is_parent_of(grandchild)
+
+    def test_stabbed_by_boundaries_inclusive(self):
+        e = entry(10, 20)
+        assert e.stabbed_by(10)
+        assert e.stabbed_by(20)
+        assert e.stabbed_by(15)
+        assert not e.stabbed_by(9)
+        assert not e.stabbed_by(21)
+
+    def test_with_flag_copies(self):
+        e = entry(1, 2, flag=False, ptr=42)
+        flagged = e.with_flag(True)
+        assert flagged.in_stab_list is True
+        assert flagged.ptr == 42
+        assert e.in_stab_list is False
+
+    def test_flag_and_ptr_excluded_from_equality(self):
+        assert entry(1, 9, flag=False, ptr=0) == entry(1, 9, flag=True, ptr=7)
+        assert hash(entry(1, 9, flag=False)) == hash(entry(1, 9, flag=True))
+
+    def test_region_and_sort_key(self):
+        e = entry(4, 8, doc=2)
+        assert e.region == (4, 8)
+        assert e.sort_key() == (2, 4)

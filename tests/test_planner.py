@@ -1,0 +1,82 @@
+"""Tests for join-order planning (repro.query.planner)."""
+
+import pytest
+
+from repro.query import PathQueryEngine
+from repro.query.planner import (
+    GreedyPlanner,
+    LeftToRightPlanner,
+    execute_plan,
+)
+from repro.xmldata.parser import parse_document
+
+
+@pytest.fixture(scope="module")
+def document():
+    from repro.workloads import department_dataset
+
+    return department_dataset(1500, seed=71).document
+
+
+class TestPlanners:
+    def test_left_to_right_order(self):
+        assert LeftToRightPlanner().order([5, 5, 5, 5]) == [0, 1, 2]
+
+    def test_greedy_prefers_small_pairs(self):
+        # Sizes: [1000, 5, 1000]: both edges touch the tiny middle — the
+        # greedy picks them before anything else would.
+        order = GreedyPlanner().order([1000, 5, 1000, 2000])
+        assert set(order) == {0, 1, 2}
+        assert order[0] in (0, 1)  # an edge touching the size-5 fragment
+
+    def test_greedy_single_edge(self):
+        assert GreedyPlanner().order([3, 7]) == [0]
+
+
+class TestExecutePlan:
+    PATHS = (
+        "//department//employee//name",
+        "//employee//employee/name",
+        "//department/employee",
+        "//department//employee//email",
+        "/departments/department//name",
+    )
+
+    @pytest.mark.parametrize("path", PATHS)
+    def test_matches_pipeline_engine(self, document, path):
+        engine = PathQueryEngine(document)
+        expected = engine.evaluate(path).starts()
+        for planner in (LeftToRightPlanner(), GreedyPlanner()):
+            result = execute_plan(document, path, planner)
+            assert [e.start for e in result.matches] == expected, \
+                (path, type(planner).__name__)
+
+    def test_single_step_path(self, document):
+        result = execute_plan(document, "//employee")
+        assert len(result) > 0
+        assert result.joins == []
+
+    def test_join_log_records_shrinkage(self, document):
+        result = execute_plan(document, "//department//employee//email")
+        assert result.joins
+        for join in result.joins:
+            assert join.survivors_left <= join.left_in
+            assert join.survivors_right <= join.right_in
+
+    def test_predicates_rejected(self, document):
+        with pytest.raises(ValueError):
+            execute_plan(document, "//employee[email]")
+
+    def test_empty_tag_short_circuits(self, document):
+        result = execute_plan(document, "//employee//ghost//name")
+        assert result.matches == []
+
+    def test_plans_agree_on_small_document(self):
+        doc = parse_document(
+            "<a><b><c><d/></c></b><b><c/></b><e><c><d/></c></e></a>"
+        )
+        for path in ("//a//b//c", "//b//c//d", "//a//c/d"):
+            fast = execute_plan(doc, path, GreedyPlanner())
+            slow = execute_plan(doc, path, LeftToRightPlanner())
+            assert [e.start for e in fast.matches] == \
+                [e.start for e in slow.matches]

@@ -1,0 +1,134 @@
+"""Tests for the path-expression engine (repro.query)."""
+
+import pytest
+
+from repro.query import PathQueryEngine, parse_path
+from repro.query.engine import QueryError
+from repro.query.path import Axis, PathSyntaxError
+from repro.xmldata.parser import parse_document
+
+
+class TestParsePath:
+    def test_descendant_steps(self):
+        path = parse_path("//a//b")
+        assert [(s.axis, s.tag) for s in path.steps] == [
+            (Axis.DESCENDANT, "a"), (Axis.DESCENDANT, "b"),
+        ]
+
+    def test_child_steps(self):
+        path = parse_path("/a/b")
+        assert all(s.axis is Axis.CHILD for s in path.steps)
+
+    def test_mixed(self):
+        path = parse_path("//a/b//c")
+        assert [s.axis for s in path.steps] == [
+            Axis.DESCENDANT, Axis.CHILD, Axis.DESCENDANT,
+        ]
+
+    def test_leading_bare_tag_means_descendant(self):
+        # The paper writes "paragraph//section".
+        path = parse_path("paragraph//section")
+        assert str(path) == "//paragraph//section"
+
+    def test_wildcard(self):
+        assert parse_path("//*").steps[0].tag == "*"
+
+    def test_str_roundtrip(self):
+        for text in ("//a//b", "/a/b", "//a/b//c"):
+            assert str(parse_path(text)) == text
+
+    @pytest.mark.parametrize("bad", ["", "//", "a//", "///a", "a b", "//a b"])
+    def test_malformed_paths_rejected(self, bad):
+        with pytest.raises(PathSyntaxError):
+            parse_path(bad)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    source = """
+    <lib>
+      <shelf>
+        <book><title>t1</title><chapter><title>c1</title></chapter></book>
+        <book><chapter><section><title>s1</title></section></chapter></book>
+      </shelf>
+      <shelf>
+        <box><book><title>t3</title></book></box>
+      </shelf>
+      <title>lobby sign</title>
+    </lib>
+    """
+    return PathQueryEngine(parse_document(source))
+
+
+class TestEvaluate:
+    def test_single_step(self, engine):
+        assert len(engine.evaluate("//book")) == 3
+
+    def test_descendant_chain(self, engine):
+        # titles under books: t1, c1, s1, t3 but not the lobby sign.
+        assert len(engine.evaluate("//book//title")) == 4
+
+    def test_child_step(self, engine):
+        # titles that are direct children of books: t1, t3.
+        assert len(engine.evaluate("//book/title")) == 2
+
+    def test_multi_step_mixed(self, engine):
+        assert len(engine.evaluate("//book/chapter//title")) == 2  # c1, s1
+        assert len(engine.evaluate("//shelf//section/title")) == 1
+
+    def test_absolute_root_step(self, engine):
+        assert len(engine.evaluate("/lib")) == 1
+        assert len(engine.evaluate("/book")) == 0  # book is not the root
+
+    def test_no_matches(self, engine):
+        assert len(engine.evaluate("//missing//title")) == 0
+        assert engine.evaluate("//missing//title").matches == []
+
+    def test_wildcard_step(self, engine):
+        # every element below a box
+        assert len(engine.evaluate("//box//*")) == 2  # book, title
+
+    def test_matches_in_document_order(self, engine):
+        result = engine.evaluate("//book//title")
+        assert result.starts() == sorted(result.starts())
+
+    def test_distinct_matches(self, engine):
+        # s1's title has two book... no — exactly one book ancestor chain,
+        # but c1 is under both a chapter and a book; matches must be
+        # reported once each.
+        result = engine.evaluate("//shelf//title")
+        assert len(result.starts()) == len(set(result.starts()))
+
+    def test_result_metadata(self, engine):
+        result = engine.evaluate("//book//title")
+        assert result.joins_run == 1
+        assert result.path == "//book//title"
+        assert result.stats.elements_scanned > 0
+
+    def test_parsed_expression_accepted(self, engine):
+        expression = parse_path("//book/title")
+        assert len(engine.evaluate(expression)) == 2
+
+
+class TestStrategies:
+    def test_strategies_agree(self):
+        from repro.workloads import department_dataset
+
+        document = department_dataset(1500, seed=21).document
+        fast = PathQueryEngine(document)
+        slow = PathQueryEngine(document, strategy="stack-tree")
+        for query in ("//department//employee//name",
+                      "//employee/employee",
+                      "//department/employee/name",
+                      "//employee//email"):
+            assert fast.evaluate(query).starts() == \
+                slow.evaluate(query).starts()
+
+    def test_unknown_strategy_rejected(self, engine):
+        with pytest.raises(QueryError):
+            PathQueryEngine(engine.document, strategy="psychic")
+
+    def test_index_cache_reused(self, engine):
+        first = engine.index_for("book")
+        second = engine.index_for("book")
+        assert first is second

@@ -1,0 +1,138 @@
+"""Tests for twig predicates in path expressions (repro.query)."""
+
+import pytest
+
+from repro.query import PathQueryEngine, parse_path
+from repro.query.path import Axis, PathSyntaxError
+from repro.xmldata.parser import parse_document
+
+SOURCE = """
+<lib>
+  <shelf>
+    <book><title>t1</title><chapter><title>c1</title></chapter></book>
+    <book><chapter><section><title>s1</title></section></chapter></book>
+    <book><title>t2</title></book>
+  </shelf>
+  <shelf>
+    <box><book><title>t3</title><chapter/></book></box>
+  </shelf>
+</lib>
+"""
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return PathQueryEngine(parse_document(SOURCE))
+
+
+@pytest.fixture(scope="module")
+def fallback():
+    return PathQueryEngine(parse_document(SOURCE), strategy="stack-tree")
+
+
+class TestPredicateParsing:
+    def test_single_predicate(self):
+        path = parse_path("//book[title]")
+        step = path.steps[0]
+        assert step.tag == "book"
+        assert len(step.predicates) == 1
+        inner = step.predicates[0].steps
+        assert inner[0].tag == "title"
+        assert inner[0].axis is Axis.CHILD  # XPath default inside [...]
+
+    def test_descendant_predicate(self):
+        path = parse_path("//book[//title]")
+        assert path.steps[0].predicates[0].steps[0].axis is Axis.DESCENDANT
+
+    def test_multi_step_predicate(self):
+        path = parse_path("//shelf[box/book]")
+        inner = path.steps[0].predicates[0].steps
+        assert [s.tag for s in inner] == ["box", "book"]
+        assert inner[1].axis is Axis.CHILD
+
+    def test_multiple_predicates_on_one_step(self):
+        path = parse_path("//book[title][chapter]")
+        assert len(path.steps[0].predicates) == 2
+
+    def test_nested_predicates(self):
+        path = parse_path("//shelf[book[chapter]]")
+        outer = path.steps[0].predicates[0]
+        assert outer.steps[0].predicates[0].steps[0].tag == "chapter"
+
+    def test_predicate_mid_path(self):
+        path = parse_path("//book[chapter]/title")
+        assert path.steps[0].predicates
+        assert path.steps[1].tag == "title"
+
+    def test_str_roundtrip(self):
+        for text in ("//book[title]", "//shelf[box/book]/book",
+                     "//book[chapter//title]", "//a[b][c]"):
+            assert str(parse_path(text)) == text
+
+    @pytest.mark.parametrize("bad", ["//a[", "//a[]", "//a]", "[b]",
+                                     "//a[b", "//a[b]]"])
+    def test_malformed_predicates_rejected(self, bad):
+        with pytest.raises(PathSyntaxError):
+            parse_path(bad)
+
+
+class TestPredicateEvaluation:
+    def test_child_predicate(self, engine):
+        # Books with a title *child*: t1, t2, t3 books (not the s1 book).
+        assert len(engine.evaluate("//book[title]")) == 3
+
+    def test_descendant_predicate(self, engine):
+        # Books with any title below them: all four.
+        assert len(engine.evaluate("//book[//title]")) == 4
+
+    def test_multi_step_predicate(self, engine):
+        assert len(engine.evaluate("//book[chapter/section]")) == 1
+        assert len(engine.evaluate("//shelf[box/book]")) == 1
+
+    def test_predicate_then_step(self, engine):
+        # Titles that are children of books having a chapter: t1, t3.
+        assert len(engine.evaluate("//book[chapter]/title")) == 2
+
+    def test_conjunctive_predicates(self, engine):
+        # Books with both a title child and a chapter child: t1's and t3's.
+        assert len(engine.evaluate("//book[title][chapter]")) == 2
+
+    def test_nested_predicate(self, engine):
+        assert len(engine.evaluate("//shelf[book[chapter[section]]]")) == 1
+
+    def test_unsatisfiable_predicate(self, engine):
+        assert len(engine.evaluate("//book[ghost]")) == 0
+        assert len(engine.evaluate("//book[ghost]/title")) == 0
+
+    def test_predicate_on_last_step(self, engine):
+        # Books that are shelf *children* (excludes the boxed t3 book) with
+        # a title child (excludes the s1 book): t1 and t2.
+        result = engine.evaluate("//shelf/book[title]")
+        assert len(result) == 2
+
+    def test_strategies_agree(self, engine, fallback):
+        for query in ("//book[title]", "//book[chapter//title]",
+                      "//shelf[box/book]", "//book[chapter]/title",
+                      "//book[title][chapter]",
+                      "//shelf[book[chapter[section]]]"):
+            assert engine.evaluate(query).starts() == \
+                fallback.evaluate(query).starts()
+
+    def test_oracle_check_on_generated_data(self):
+        from repro.workloads import department_dataset
+
+        document = department_dataset(1500, seed=33).document
+        engine = PathQueryEngine(document)
+        result = engine.evaluate("//employee[email]/name")
+        expected = sorted(
+            name.start
+            for name in document.elements_by_tag("name")
+            if name.parent is not None and name.parent.tag == "employee"
+            and any(c.tag == "email" for c in name.parent.children)
+        )
+        assert result.starts() == expected
+
+    def test_joins_run_counts_semi_joins(self, engine):
+        plain = engine.evaluate("//shelf/book")
+        filtered = engine.evaluate("//shelf/book[title]")
+        assert filtered.joins_run > plain.joins_run

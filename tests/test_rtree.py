@@ -1,0 +1,180 @@
+"""Tests for the R-tree baseline (repro.indexes.rtree)."""
+
+import random
+
+import pytest
+
+from repro.core.api import StorageContext
+from repro.indexes.rtree import Rect, RTree, RTreeError, rtree_sync_join
+from repro.joins import nested_loop_join
+from repro.joins.base import sort_pairs
+from tests.conftest import entry
+from tests.test_xrtree_property import tree_shape_to_entries
+
+
+@pytest.fixture
+def rpool():
+    return StorageContext(page_size=512, buffer_pages=64).pool
+
+
+class TestRect:
+    def test_union(self):
+        a = Rect(1, 5, 10, 20)
+        b = Rect(3, 8, 5, 15)
+        assert a.union(b) == Rect(1, 8, 5, 20)
+
+    def test_area_and_enlargement(self):
+        a = Rect(0, 9, 0, 9)
+        assert a.area() == 100
+        assert a.enlargement(Rect(0, 9, 0, 9)) == 0
+        assert a.enlargement(Rect(0, 19, 0, 9)) == 100
+
+    def test_window_intersection(self):
+        rect = Rect(10, 20, 30, 40)
+        assert rect.intersects_window(15, 25, 35, 45)
+        assert not rect.intersects_window(21, 30, 30, 40)
+        assert not rect.intersects_window(10, 20, 41, 50)
+
+    def test_of_entry_and_contains(self):
+        rect = Rect.of_entry(entry(5, 9))
+        assert rect.contains_point(5, 9)
+        assert not rect.contains_point(5, 10)
+
+
+class TestBuild:
+    def test_bulk_load_and_items(self, rpool):
+        entries = tree_shape_to_entries([2, 2, 2, 1, 1])
+        tree = RTree(rpool, leaf_capacity=4, internal_capacity=3)
+        tree.bulk_load(entries)
+        tree.check()
+        assert [e.start for e in tree.items()] == [e.start for e in entries]
+
+    def test_dynamic_insert(self, rpool):
+        rng = random.Random(4)
+        entries = tree_shape_to_entries([3] * 40)
+        rng.shuffle(entries)
+        tree = RTree(rpool, leaf_capacity=4, internal_capacity=4)
+        for e in entries:
+            tree.insert(e)
+        tree.check()
+        assert tree.size == len(entries)
+        assert sorted(e.start for e in tree.items()) == \
+            sorted(e.start for e in entries)
+
+    def test_empty_tree(self, rpool):
+        tree = RTree(rpool)
+        tree.check()
+        assert tree.items() == []
+        assert tree.find_ancestors(5) == []
+
+    def test_bulk_load_twice_rejected(self, rpool):
+        tree = RTree(rpool)
+        tree.bulk_load([entry(1, 2)])
+        with pytest.raises(RTreeError):
+            tree.bulk_load([entry(5, 6)])
+
+    def test_tiny_capacity_rejected(self, rpool):
+        with pytest.raises(RTreeError):
+            RTree(rpool, leaf_capacity=1)
+
+
+class TestQueries:
+    @pytest.fixture
+    def loaded(self, rpool, dept_data):
+        entries = sorted(dept_data.ancestors + dept_data.descendants,
+                         key=lambda e: e.start)
+        tree = RTree(rpool)
+        tree.bulk_load(entries)
+        return tree, entries
+
+    def test_find_ancestors_matches_oracle(self, loaded):
+        tree, entries = loaded
+        rng = random.Random(5)
+        for probe in rng.sample(entries, 60):
+            got = [a.start for a in tree.find_ancestors(probe.start)]
+            expected = [a.start for a in entries
+                        if a.start < probe.start < a.end]
+            assert got == expected
+
+    def test_find_descendants_matches_oracle(self, loaded):
+        tree, entries = loaded
+        rng = random.Random(6)
+        for probe in rng.sample(entries, 60):
+            got = [d.start for d in tree.find_descendants(probe.start,
+                                                          probe.end)]
+            expected = [d.start for d in entries
+                        if probe.start < d.start < probe.end]
+            assert got == expected
+
+    def test_window_counter(self, loaded):
+        from repro.joins.base import JoinStats
+
+        tree, entries = loaded
+        stats = JoinStats()
+        tree.find_ancestors(entries[len(entries) // 2].start, counter=stats)
+        assert stats.elements_scanned > 0
+
+    def test_dynamic_tree_answers_match_bulk(self, rpool, big_pool):
+        entries = tree_shape_to_entries([2, 1, 3, 2, 1, 0, 2])
+        bulk = RTree(rpool, leaf_capacity=4, internal_capacity=3)
+        bulk.bulk_load(entries)
+        dynamic = RTree(big_pool, leaf_capacity=4, internal_capacity=3)
+        for e in entries:
+            dynamic.insert(e)
+        for probe in entries:
+            assert bulk.find_ancestors(probe.start) == \
+                dynamic.find_ancestors(probe.start)
+
+
+class TestSyncJoin:
+    def run(self, ancestors, descendants, parent_child=False):
+        context = StorageContext(page_size=512, buffer_pages=64)
+        a_tree = RTree(context.pool)
+        a_tree.bulk_load(ancestors)
+        d_tree = RTree(context.pool)
+        d_tree.bulk_load(descendants)
+        return rtree_sync_join(a_tree, d_tree, parent_child=parent_child)
+
+    def test_department_matches_oracle(self, dept_data):
+        pairs, _ = self.run(dept_data.ancestors, dept_data.descendants)
+        assert sort_pairs(pairs) == nested_loop_join(
+            dept_data.ancestors, dept_data.descendants
+        )
+
+    def test_conference_matches_oracle(self, conf_data):
+        pairs, _ = self.run(conf_data.ancestors, conf_data.descendants)
+        assert sort_pairs(pairs) == nested_loop_join(
+            conf_data.ancestors, conf_data.descendants
+        )
+
+    def test_parent_child(self, dept_data):
+        pairs, _ = self.run(dept_data.ancestors, dept_data.descendants,
+                            parent_child=True)
+        assert sort_pairs(pairs) == nested_loop_join(
+            dept_data.ancestors, dept_data.descendants, parent_child=True
+        )
+
+    def test_random_trees(self):
+        for shape in ([1, 2, 3], [3, 3, 3, 3], [2, 0, 1, 2, 0, 1]):
+            entries = tree_shape_to_entries(shape)
+            ancestors, descendants = entries[::2], entries[1::2]
+            pairs, _ = self.run(ancestors, descendants)
+            assert sort_pairs(pairs) == nested_loop_join(ancestors,
+                                                         descendants)
+
+    def test_empty_sides(self):
+        pairs, _ = self.run([], [entry(1, 2)])
+        assert pairs == []
+        pairs, _ = self.run([entry(1, 10)], [])
+        assert pairs == []
+
+    def test_count_only(self, dept_data):
+        _, stats = self.run(dept_data.ancestors, dept_data.descendants)
+        context = StorageContext(page_size=512, buffer_pages=64)
+        a_tree = RTree(context.pool)
+        a_tree.bulk_load(dept_data.ancestors)
+        d_tree = RTree(context.pool)
+        d_tree.bulk_load(dept_data.descendants)
+        pairs, stats2 = rtree_sync_join(a_tree, d_tree, collect=False)
+        assert pairs is None
+        assert stats2.pairs == stats.pairs

@@ -1,0 +1,104 @@
+"""Tests for Stack-Tree-Anc (repro.joins.stack_tree_anc)."""
+
+import pytest
+
+from repro.core.api import StorageContext, build_element_list
+from repro.joins import nested_loop_join, stack_tree_join
+from repro.joins.base import sort_pairs
+from repro.joins.stack_tree_anc import stack_tree_anc_join
+from tests.conftest import entry
+from tests.test_xrtree_property import tree_shape_to_entries
+
+
+def run(ancestors, descendants, parent_child=False, collect=True):
+    context = StorageContext(page_size=512, buffer_pages=64)
+    a_list = build_element_list(ancestors, context.pool)
+    d_list = build_element_list(descendants, context.pool)
+    return stack_tree_anc_join(a_list, d_list, parent_child=parent_child,
+                               collect=collect)
+
+
+def anc_order(pairs):
+    return [(a.start, d.start) for a, d in pairs]
+
+
+class TestCorrectness:
+    def test_department_matches_oracle(self, dept_data):
+        pairs, _ = run(dept_data.ancestors, dept_data.descendants)
+        assert sort_pairs(pairs) == nested_loop_join(
+            dept_data.ancestors, dept_data.descendants
+        )
+
+    def test_conference_matches_oracle(self, conf_data):
+        pairs, _ = run(conf_data.ancestors, conf_data.descendants)
+        assert sort_pairs(pairs) == nested_loop_join(
+            conf_data.ancestors, conf_data.descendants
+        )
+
+    def test_parent_child(self, dept_data):
+        pairs, _ = run(dept_data.ancestors, dept_data.descendants,
+                       parent_child=True)
+        assert sort_pairs(pairs) == nested_loop_join(
+            dept_data.ancestors, dept_data.descendants, parent_child=True
+        )
+
+    def test_self_join(self, dept_data):
+        emps = dept_data.ancestors
+        pairs, _ = run(emps, emps)
+        assert sort_pairs(pairs) == nested_loop_join(emps, emps)
+
+    def test_random_shapes(self):
+        for shape in ([1, 2, 3], [3, 3, 3, 3], [2, 0, 1, 2, 1],
+                      [1] * 15):
+            entries = tree_shape_to_entries(shape)
+            ancestors, descendants = entries[::2], entries[1::2]
+            pairs, _ = run(ancestors, descendants)
+            assert sort_pairs(pairs) == nested_loop_join(ancestors,
+                                                         descendants)
+
+    def test_empty_inputs(self):
+        assert run([], [entry(1, 2)])[0] == []
+        assert run([entry(1, 9)], [])[0] == []
+
+    def test_count_only(self, dept_data):
+        pairs, stats = run(dept_data.ancestors, dept_data.descendants,
+                           collect=False)
+        assert pairs is None
+        assert stats.pairs == len(nested_loop_join(
+            dept_data.ancestors, dept_data.descendants))
+
+
+class TestOutputOrder:
+    def test_pairs_emerge_ancestor_sorted(self, dept_data):
+        pairs, _ = run(dept_data.ancestors, dept_data.descendants)
+        order = anc_order(pairs)
+        assert order == sorted(order)
+
+    def test_desc_variant_emerges_descendant_sorted(self, dept_data):
+        context = StorageContext(page_size=512, buffer_pages=64)
+        a_list = build_element_list(dept_data.ancestors, context.pool)
+        d_list = build_element_list(dept_data.descendants, context.pool)
+        pairs, _ = stack_tree_join(a_list, d_list)
+        order = [(d.start, a.start) for a, d in pairs]
+        assert order == sorted(order)
+
+    def test_nested_chain_order(self):
+        # Deep nesting is the hard case for ancestor ordering: the
+        # outermost ancestor's pairs must all precede the inner ones'.
+        ancestors = [entry(i, 200 - i) for i in range(1, 30)]
+        descendants = [entry(50 + i * 2, 50 + i * 2 + 1)
+                       for i in range(20)]
+        pairs, _ = run(ancestors, descendants)
+        order = anc_order(pairs)
+        assert order == sorted(order)
+        assert len(pairs) == 29 * 20
+
+    def test_scan_counts_match_desc_variant(self, dept_data):
+        _, anc_stats = run(dept_data.ancestors, dept_data.descendants,
+                           collect=False)
+        context = StorageContext(page_size=512, buffer_pages=64)
+        a_list = build_element_list(dept_data.ancestors, context.pool)
+        d_list = build_element_list(dept_data.descendants, context.pool)
+        _, desc_stats = stack_tree_join(a_list, d_list, collect=False)
+        # Same single merge pass over both lists.
+        assert anc_stats.elements_scanned == desc_stats.elements_scanned

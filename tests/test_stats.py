@@ -1,0 +1,104 @@
+"""Tests for document/element-set statistics (repro.xmldata.stats)."""
+
+import pytest
+
+from repro.xmldata.parser import parse_document
+from repro.xmldata.stats import document_stats, element_set_stats
+from tests.conftest import entry
+
+SOURCE = """
+<dept>
+  <emp><name>w</name>
+    <emp><emp/></emp>
+  </emp>
+  <emp><name>x</name></emp>
+  <office/>
+</dept>
+"""
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return document_stats(parse_document(SOURCE))
+
+
+class TestDocumentStats:
+    def test_element_count(self, stats):
+        assert stats.element_count == 8
+
+    def test_height(self, stats):
+        assert stats.height == 4  # dept > emp > emp > emp
+
+    def test_tag_counts(self, stats):
+        assert stats.tag_counts == {"dept": 1, "emp": 4, "name": 2,
+                                    "office": 1}
+
+    def test_depth_histogram(self, stats):
+        assert stats.depth_histogram[0] == 1
+        assert stats.depth_histogram[1] == 3
+        assert sum(stats.depth_histogram.values()) == stats.element_count
+
+    def test_fanout(self, stats):
+        assert stats.fanout_histogram[0] > 0  # leaves
+        assert stats.fanout_histogram[3] == 1  # the root
+        assert stats.mean_fanout > 1.0
+
+    def test_max_nesting_by_tag(self, stats):
+        assert stats.max_nesting_by_tag["emp"] == 3
+        assert stats.max_nesting_by_tag["name"] == 1
+        assert stats.max_nesting_by_tag["dept"] == 1
+
+    def test_describe_renders(self, stats):
+        text = stats.describe()
+        assert "elements: 8" in text
+        assert "emp=4 (h_d=3)" in text
+
+    def test_matches_model_max_nesting(self):
+        from repro.workloads import department_dataset
+
+        data = department_dataset(1200, seed=3)
+        stats = document_stats(data.document)
+        assert stats.max_nesting_by_tag["employee"] == \
+            data.document.max_nesting("employee")
+        assert stats.element_count == data.document.element_count()
+
+
+class TestElementSetStats:
+    def test_flat_set(self):
+        entries = [entry(i * 10, i * 10 + 5) for i in range(1, 6)]
+        stats = element_set_stats(entries)
+        assert stats.count == 5
+        assert stats.max_nesting == 1
+        assert stats.top_level_count == 5
+        assert stats.max_subtree_size == 1
+
+    def test_nested_chain(self):
+        entries = [entry(i, 100 - i) for i in range(1, 11)]
+        stats = element_set_stats(entries)
+        assert stats.max_nesting == 10
+        assert stats.top_level_count == 1
+        assert stats.max_subtree_size == 10
+
+    def test_mixed(self):
+        entries = [entry(1, 20), entry(2, 10), entry(3, 4),
+                   entry(30, 40), entry(50, 90), entry(60, 70)]
+        stats = element_set_stats(entries)
+        assert stats.top_level_count == 3
+        assert stats.max_nesting == 3
+        assert sorted(stats.subtree_sizes) == [1, 2, 3]
+        assert stats.mean_subtree_size == 2.0
+
+    def test_empty(self):
+        stats = element_set_stats([])
+        assert stats.count == 0
+        assert stats.mean_subtree_size == 0.0
+        assert stats.max_subtree_size == 0
+
+    def test_consistency_with_document(self):
+        from repro.workloads import department_dataset
+
+        data = department_dataset(1500, seed=9)
+        stats = element_set_stats(data.ancestors)
+        assert stats.count == data.ancestor_count
+        assert stats.max_nesting == \
+            data.document.max_nesting("employee")

@@ -1,0 +1,35 @@
+"""Tests for the disk-time model (repro.storage.timemodel)."""
+
+import pytest
+
+from repro.storage.timemodel import DiskTimeModel
+
+
+class TestDiskTimeModel:
+    def test_zero_activity_is_zero_time(self):
+        assert DiskTimeModel().elapsed_seconds(0) == 0.0
+
+    def test_reads_dominate(self):
+        model = DiskTimeModel(read_ms=8.0, write_ms=0.0,
+                              cpu_us_per_element=0.0)
+        assert model.elapsed_seconds(1000) == pytest.approx(8.0)
+
+    def test_writes_counted(self):
+        model = DiskTimeModel(read_ms=0.0, write_ms=5.0,
+                              cpu_us_per_element=0.0)
+        assert model.elapsed_seconds(0, writebacks=200) == pytest.approx(1.0)
+
+    def test_cpu_charge(self):
+        model = DiskTimeModel(read_ms=0.0, write_ms=0.0,
+                              cpu_us_per_element=2.0)
+        assert model.elapsed_seconds(0, 0, 500000) == pytest.approx(1.0)
+
+    def test_components_additive(self):
+        model = DiskTimeModel(read_ms=1.0, write_ms=1.0,
+                              cpu_us_per_element=1000.0)
+        assert model.elapsed_seconds(1000, 1000, 1000) == pytest.approx(3.0)
+
+    def test_frozen(self):
+        model = DiskTimeModel()
+        with pytest.raises(Exception):
+            model.read_ms = 1.0

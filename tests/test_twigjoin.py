@@ -1,0 +1,152 @@
+"""Tests for the holistic twig join (repro.query.twigjoin)."""
+
+import itertools
+
+import pytest
+
+from repro.query import PathQueryEngine, parse_path
+from repro.query.path import Axis
+from repro.query.twigjoin import (
+    evaluate_twig,
+    twig_from_path,
+    twig_join,
+)
+from repro.xmldata.parser import parse_document
+
+SOURCE = """
+<dept>
+  <emp><name>w</name><email/>
+    <emp><name>x</name>
+      <emp><name>y</name><email/></emp>
+    </emp>
+  </emp>
+  <emp><name>z</name></emp>
+  <office><name>sign</name><email/></office>
+</dept>
+"""
+
+
+def oracle_twig_matches(document, path_text):
+    """Brute-force all full twig embeddings."""
+    root, _output = twig_from_path(path_text)
+    nodes = root.preorder()
+    candidates = [document.elements_by_tag(node.tag) for node in nodes]
+    out = []
+    for combo in itertools.product(*candidates):
+        ok = True
+        for position, node in enumerate(nodes):
+            if node.parent is None:
+                continue
+            parent_element = combo[node.parent.index]
+            element = combo[position]
+            if not (parent_element.start < element.start
+                    and element.end < parent_element.end):
+                ok = False
+                break
+            if node.axis is Axis.CHILD and \
+                    parent_element.level != element.level - 1:
+                ok = False
+                break
+        if ok:
+            out.append(tuple((e.start, e.end) for e in combo))
+    return sorted(out)
+
+
+def run_twig(document, path_text):
+    solutions, _output = evaluate_twig(document, path_text)
+    return sorted(
+        tuple((e.start, e.end) for e in match)
+        for match in solutions.matches
+    )
+
+
+@pytest.fixture(scope="module")
+def document():
+    return parse_document(SOURCE)
+
+
+class TestTwigConstruction:
+    def test_linear_path(self):
+        root, output = twig_from_path("//a//b/c")
+        assert root.tag == "a"
+        assert output.tag == "c"
+        assert [n.tag for n in root.preorder()] == ["a", "b", "c"]
+
+    def test_predicate_branches(self):
+        root, output = twig_from_path("//emp[email]/name")
+        assert root.tag == "emp"
+        assert {child.tag for child in root.children} == {"email", "name"}
+        assert output.tag == "name"
+
+    def test_nested_predicates(self):
+        root, _ = twig_from_path("//a[b[c]]/d")
+        b = [c for c in root.children if c.tag == "b"][0]
+        assert b.children[0].tag == "c"
+
+    def test_preorder_indexes_are_dense(self):
+        root, _ = twig_from_path("//a[b][c/d]//e")
+        indexes = [node.index for node in root.preorder()]
+        assert indexes == list(range(len(indexes)))
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("path", [
+        "//emp[email]//name",
+        "//emp[email]/name",
+        "//emp[name]/email",
+        "//dept[office]//emp//name",
+        "//emp[emp[email]]/name",
+        "//emp[name][email]",
+        "//emp//emp[name]",
+        "//dept//name",
+    ])
+    def test_small_document(self, document, path):
+        assert run_twig(document, path) == \
+            oracle_twig_matches(document, path)
+
+    def test_generated_document(self):
+        from repro.workloads import department_dataset
+
+        doc = department_dataset(500, seed=61).document
+        for path in ("//employee[email]/name",
+                     "//department[name]//employee",
+                     "//employee[employee]/name"):
+            assert run_twig(doc, path) == oracle_twig_matches(doc, path)
+
+
+class TestAgainstPipelineEngine:
+    def test_output_bindings_match_engine(self):
+        from repro.workloads import department_dataset
+
+        doc = department_dataset(1000, seed=62).document
+        engine = PathQueryEngine(doc)
+        for path in ("//employee[email]/name",
+                     "//department//employee[employee]",
+                     "//employee[email][employee]",
+                     "//department[employee[email]]/name"):
+            solutions, output_index = evaluate_twig(doc, path)
+            holistic = [e.start for e in solutions.bindings_of(output_index)]
+            pipeline = engine.evaluate(path).starts()
+            assert holistic == pipeline, path
+
+
+class TestApi:
+    def test_count_only(self, document):
+        collected, _ = evaluate_twig(document, "//emp[email]//name")
+        counted, _ = evaluate_twig(document, "//emp[email]//name",
+                                   collect=False)
+        assert counted.count == collected.count
+        assert counted.matches == []
+
+    def test_empty_stream(self, document):
+        solutions, _ = evaluate_twig(document, "//emp[ghost]/name")
+        assert solutions.count == 0
+
+    def test_stats_counted(self, document):
+        solutions, _ = evaluate_twig(document, "//emp[email]/name")
+        assert solutions.stats.elements_scanned > 0
+
+    def test_twig_str_renders(self):
+        root, _ = twig_from_path("//emp[email]/name")
+        text = str(root)
+        assert "emp" in text and "email" in text and "name" in text

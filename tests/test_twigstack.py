@@ -1,0 +1,131 @@
+"""Tests for the getNext-optimized TwigStack (repro.query.twigjoin)."""
+
+import pytest
+
+from repro.query.twigjoin import twig_from_path, twig_join, twig_stack_join
+from repro.xmldata.parser import parse_document
+from tests.test_twigjoin import SOURCE, oracle_twig_matches
+
+
+def run_twig_stack(document, path_text):
+    root, _ = twig_from_path(path_text)
+    solutions = twig_stack_join(document.entries_for_tag, root)
+    return sorted(
+        tuple((e.start, e.end) for e in match)
+        for match in solutions.matches
+    )
+
+
+@pytest.fixture(scope="module")
+def document():
+    return parse_document(SOURCE)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("path", [
+        "//emp[email]//name",
+        "//emp[email]/name",
+        "//emp[name]/email",
+        "//dept[office]//emp//name",
+        "//emp[emp[email]]/name",
+        "//emp[name][email]",
+        "//emp//emp[name]",
+        "//dept//name",
+        "//emp//name",
+    ])
+    def test_small_document(self, document, path):
+        assert run_twig_stack(document, path) == \
+            oracle_twig_matches(document, path)
+
+    def test_generated_documents(self):
+        from repro.workloads import department_dataset
+
+        for seed in (63, 64, 65):
+            doc = department_dataset(400, seed=seed).document
+            for path in ("//employee[email]/name",
+                         "//department[name]//employee",
+                         "//employee[employee]/name",
+                         "//department//employee//name"):
+                assert run_twig_stack(doc, path) == \
+                    oracle_twig_matches(doc, path), (seed, path)
+
+    def test_auction_document(self):
+        from repro.workloads import auction_dataset
+
+        doc = auction_dataset(600, seed=31).document
+        for path in ("//item[name]//parlist",
+                     "//parlist//listitem//text",
+                     "//item[description[parlist]]/name"):
+            assert run_twig_stack(doc, path) == \
+                oracle_twig_matches(doc, path), path
+
+    def test_matches_unoptimized_twig_join(self):
+        from repro.workloads import department_dataset
+
+        doc = department_dataset(900, seed=66).document
+        for path in ("//employee[email]/name",
+                     "//department//employee[employee]",
+                     "//department[employee[email]]/name"):
+            root, _ = twig_from_path(path)
+            base = twig_join(doc.entries_for_tag, root)
+            root2, _ = twig_from_path(path)
+            optimized = twig_stack_join(doc.entries_for_tag, root2)
+            key = lambda m: tuple(e.start for e in m)
+            assert sorted(base.matches, key=key) == \
+                sorted(optimized.matches, key=key), path
+
+
+class TestRegressions:
+    def test_sibling_branch_out_of_order_cleaning(self):
+        """Regression: getNext may process a deep branch element before a
+        sibling leaf element with a *smaller* start.  Cleaning any stack
+        beyond q's own and its parent's at that moment pops ancestor
+        frames the sibling still needs (here, a=(10,17) for b=(15,16))."""
+        from tests.test_holistic_property import (
+            multi_tag_document,
+            oracle_matches,
+        )
+
+        doc = multi_tag_document([3, 0, 0, 3, 0, 1, 0, 2, 1])
+        root, _ = twig_from_path("//a[b][b/c]")
+        result = twig_stack_join(doc.entries_for_tag, root)
+        got = sorted({tuple(e.start for e in m) for m in result.matches})
+        assert got == oracle_matches(doc, "//a[b][b/c]")
+        assert (10, 15, 11, 12) in got  # the match the bug dropped
+
+
+class TestSkipping:
+    def test_skips_elements_on_selective_twigs(self):
+        """On a twig whose branch is rare, getNext must examine fewer
+        elements than the scan-everything variant."""
+        from repro.workloads import department_dataset
+
+        doc = department_dataset(3000, seed=67).document
+        # email is optional: employees without email make //employee[email]
+        # selective on the employee stream.
+        path = "//department//employee[email]"
+        root, _ = twig_from_path(path)
+        base = twig_join(doc.entries_for_tag, root)
+        root2, _ = twig_from_path(path)
+        optimized = twig_stack_join(doc.entries_for_tag, root2)
+        key = lambda m: tuple(e.start for e in m)
+        assert sorted(base.matches, key=key) == \
+            sorted(optimized.matches, key=key)
+        assert optimized.stats.elements_scanned <= \
+            base.stats.elements_scanned
+
+    def test_disjoint_streams_short_circuit(self, document):
+        # No emp contains an office: the inert branch ends the run early.
+        assert run_twig_stack(document, "//emp[office]/name") == []
+
+    def test_empty_stream(self, document):
+        assert run_twig_stack(document, "//emp[ghost]") == []
+
+    def test_count_only(self, document):
+        root, _ = twig_from_path("//emp[email]//name")
+        collected = twig_stack_join(document.entries_for_tag, root)
+        root2, _ = twig_from_path("//emp[email]//name")
+        counted = twig_stack_join(document.entries_for_tag, root2,
+                                  collect=False)
+        assert counted.count == collected.count
+        assert counted.matches == []

@@ -1,0 +1,182 @@
+"""Tests for sparse numbering and in-place document updates
+(repro.xmldata.update)."""
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDisk
+from repro.xmldata.model import Document, Element, XmlModelError, \
+    annotate_regions
+from repro.xmldata.parser import parse_document
+from repro.xmldata.update import (
+    GapExhausted,
+    IndexedDocument,
+    available_gap,
+    delete_leaf_element,
+    entry_for,
+    insert_leaf_element,
+)
+
+
+def sparse_document(spacing=8):
+    root = Element("dept")
+    emp = root.add_child(Element("emp"))
+    emp.add_child(Element("name", text="w"))
+    root.add_child(Element("office"))
+    annotate_regions(root, spacing=spacing)
+    return Document(root)
+
+
+class TestSparseNumbering:
+    def test_spacing_spreads_boundaries(self):
+        dense = sparse_document(spacing=1)
+        sparse = sparse_document(spacing=8)
+        assert sparse.root.end == (dense.root.end - 1) * 8 + 1
+        assert sparse.validate()
+
+    def test_spacing_one_unchanged_semantics(self):
+        doc = sparse_document(spacing=1)
+        assert doc.validate()
+
+    def test_bad_spacing_rejected(self):
+        with pytest.raises(XmlModelError):
+            annotate_regions(Element("a"), spacing=0)
+
+
+class TestGapArithmetic:
+    def test_gap_between_siblings(self):
+        doc = sparse_document(spacing=8)
+        low, high = available_gap(doc.root, 1)  # between emp and office
+        emp, office = doc.root.children
+        assert (low, high) == (emp.end, office.start)
+        assert high - low > 2
+
+    def test_gap_at_edges(self):
+        doc = sparse_document(spacing=8)
+        first_low, _ = available_gap(doc.root, 0)
+        assert first_low == doc.root.start
+        _, last_high = available_gap(doc.root, 2)
+        assert last_high == doc.root.end
+
+
+class TestInsertDelete:
+    def test_insert_preserves_existing_regions(self):
+        doc = sparse_document(spacing=8)
+        before = [(n.tag, n.start, n.end) for n in doc]
+        node = insert_leaf_element(doc, doc.root, 1, "notice")
+        assert doc.validate()
+        after = [(n.tag, n.start, n.end) for n in doc if n is not node]
+        assert after == before
+
+    def test_inserted_element_is_queryable(self):
+        doc = sparse_document(spacing=8)
+        emp = doc.root.children[0]
+        node = insert_leaf_element(doc, emp, 1, "email", text="x@y")
+        assert node.level == emp.level + 1
+        assert emp.start < node.start and node.end < emp.end
+        assert doc.node_at(entry_for(doc, node).ptr) is node
+
+    def test_gap_exhaustion_raises(self):
+        doc = sparse_document(spacing=2)  # one free number per boundary
+        emp = doc.root.children[0]
+        with pytest.raises(GapExhausted):
+            insert_leaf_element(doc, emp, 0, "x", text="needs three")
+
+    def test_repeated_inserts_until_exhaustion(self):
+        doc = sparse_document(spacing=16)
+        inserted = 0
+        try:
+            while True:
+                insert_leaf_element(doc, doc.root, 1, "pad")
+                inserted += 1
+                doc.validate()
+        except GapExhausted:
+            pass
+        assert inserted >= 2  # a 16-spacing gap fits several elements
+
+    def test_delete_leaf(self):
+        doc = sparse_document(spacing=8)
+        office = doc.root.children[1]
+        delete_leaf_element(doc, office)
+        assert [c.tag for c in doc.root.children] == ["emp"]
+        assert doc.validate()
+
+    def test_delete_non_leaf_rejected(self):
+        doc = sparse_document(spacing=8)
+        with pytest.raises(XmlModelError):
+            delete_leaf_element(doc, doc.root.children[0])
+
+    def test_delete_root_rejected(self):
+        doc = sparse_document(spacing=8)
+        with pytest.raises(XmlModelError):
+            delete_leaf_element(doc, doc.root)
+
+    def test_bad_position_rejected(self):
+        doc = sparse_document(spacing=8)
+        with pytest.raises(XmlModelError):
+            insert_leaf_element(doc, doc.root, 9, "x")
+
+
+class TestIndexedDocument:
+    @pytest.fixture
+    def indexed(self):
+        from repro.xmldata.dtd import DEPARTMENT_DTD
+        from repro.xmldata.generator import XmlGenerator
+
+        document = XmlGenerator(DEPARTMENT_DTD, seed=13).generate(400)
+        # Re-number sparsely so updates have room.
+        annotate_regions(document.root, spacing=6)
+        pool = BufferPool(InMemoryDisk(1024), capacity=64)
+        return IndexedDocument(document, pool)
+
+    def test_initial_state_consistent(self, indexed):
+        assert indexed.check()
+
+    def test_inserts_keep_indexes_in_sync(self, indexed):
+        root = indexed.document.root
+        target = root.children[0]
+        # Insert at both ends of the child list: distinct gaps, both roomy.
+        indexed.insert(target, 0, "email", text="t")
+        indexed.insert(target, len(target.children), "email", text="t")
+        assert indexed.check()
+        # The new emails are findable through the index.
+        tree = indexed.tree("email")
+        expected = sorted(n.start for n in indexed.document
+                          if n.tag == "email")
+        assert [e.start for e in tree.items()] == expected
+
+    def test_deletes_keep_indexes_in_sync(self, indexed):
+        victim = next(n for n in indexed.document
+                      if n.tag == "name" and not n.children)
+        indexed.delete(victim)
+        assert indexed.check()
+        assert indexed.tree("name").search(victim.start) is None
+
+    def test_churn(self, indexed):
+        import random
+
+        rng = random.Random(5)
+        inserted = []
+        for _ in range(40):
+            if inserted and rng.random() < 0.4:
+                indexed.delete(inserted.pop())
+            else:
+                parents = [n for n in indexed.document
+                           if n.tag in ("employee", "department")]
+                parent = rng.choice(parents)
+                position = rng.randrange(len(parent.children) + 1)
+                try:
+                    inserted.append(
+                        indexed.insert(parent, position, "email")
+                    )
+                except GapExhausted:
+                    pass
+        assert indexed.check()
+
+    def test_structural_queries_after_updates(self, indexed):
+        root = indexed.document.root
+        employee = next(n for n in indexed.document if n.tag == "employee")
+        node = indexed.insert(employee, 0, "email")
+        tree = indexed.tree("email")
+        ancestors = indexed.tree("employee").find_ancestors(node.start)
+        assert any(a.start == employee.start for a in ancestors)

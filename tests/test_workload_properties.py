@@ -1,0 +1,148 @@
+"""Property-based tests for workload derivations (repro.workloads).
+
+The derivations rewrite element lists (removal, dummy injection,
+renumbering); these tests verify the semantic invariants that make the
+derived workloads valid experiment inputs.
+"""
+
+from random import Random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins.base import contains
+from repro.workloads.datasets import JoinDataset
+from repro.workloads.selectivity import (
+    ancestor_chains,
+    interleave_with_dummies,
+    vary_ancestor_selectivity,
+    vary_both_selectivity,
+    vary_descendant_selectivity,
+)
+from tests.test_xrtree_property import tree_shape_to_entries
+
+shapes = st.lists(st.integers(min_value=0, max_value=3),
+                  min_size=4, max_size=100)
+fractions = st.sampled_from([0.9, 0.5, 0.25, 0.05])
+
+
+def dataset_from_shape(shape):
+    entries = tree_shape_to_entries(shape)
+    ancestors = [e for i, e in enumerate(entries) if i % 2 == 0]
+    descendants = [e for i, e in enumerate(entries) if i % 2 == 1]
+    return JoinDataset("prop", ancestors, descendants)
+
+
+def assert_valid_region_set(entries):
+    """Strict nesting: any two regions are disjoint or nested."""
+    opened = []
+    for element in sorted(entries, key=lambda e: e.start):
+        while opened and opened[-1] < element.start:
+            opened.pop()
+        if opened:
+            assert element.end < opened[-1], \
+                "partial overlap at %d" % element.start
+        opened.append(element.end)
+
+
+class TestInterleaveWithDummies:
+    @given(shapes, st.integers(min_value=0, max_value=200),
+           st.integers(min_value=0, max_value=999))
+    @settings(max_examples=60, deadline=None)
+    def test_containment_preserved_and_dummies_sterile(self, shape,
+                                                       dummy_count, seed):
+        dataset = dataset_from_shape(shape)
+        if not dataset.ancestors or not dataset.descendants:
+            return
+        kept = dataset.descendants[: max(1, len(dataset.descendants) // 2)]
+        before = ancestor_chains(dataset.ancestors, kept)
+        new_a, new_d = interleave_with_dummies(
+            dataset.ancestors, kept, dummy_count, Random(seed), doc_id=1
+        )
+        # Sizes: ancestors unchanged, descendants = kept + dummies.
+        assert len(new_a) == len(dataset.ancestors)
+        assert len(new_d) == len(kept) + dummy_count
+        # The whole renumbered set is still a valid strictly nested family.
+        assert_valid_region_set(new_a + new_d)
+        # Containment relationships among the real elements are preserved
+        # (dummies carry the sentinel ptr).
+        from repro.workloads.selectivity import DummyFactory
+
+        real = [d for d in new_d if d.ptr != DummyFactory.DUMMY_PTR]
+        after = ancestor_chains(new_a, sorted(real, key=lambda e: e.start))
+        matched_before = sorted(len(c) for c in before)
+        matched_after = sorted(len(c) for c in after)
+        assert matched_before == matched_after
+        # Dummies join nothing.
+        dummies = [d for d in new_d if d.ptr == DummyFactory.DUMMY_PTR]
+        assert len(dummies) == dummy_count
+        for dummy in dummies:
+            for ancestor in new_a:
+                assert not contains(ancestor, dummy)
+
+    @given(shapes)
+    @settings(max_examples=30, deadline=None)
+    def test_starts_unique_and_sorted(self, shape):
+        dataset = dataset_from_shape(shape)
+        if not dataset.ancestors or not dataset.descendants:
+            return
+        new_a, new_d = interleave_with_dummies(
+            dataset.ancestors, dataset.descendants, 37, Random(3), doc_id=1
+        )
+        starts = [e.start for e in new_a] + [e.start for e in new_d]
+        assert len(starts) == len(set(starts))
+        assert [e.start for e in new_d] == sorted(e.start for e in new_d)
+
+
+class TestProtocolInvariants:
+    @given(shapes, fractions, st.integers(min_value=0, max_value=99))
+    @settings(max_examples=40, deadline=None)
+    def test_ancestor_protocol_valid_output(self, shape, fraction, seed):
+        dataset = dataset_from_shape(shape)
+        if len(dataset.ancestors) < 3 or len(dataset.descendants) < 3:
+            return
+        workload = vary_ancestor_selectivity(dataset, fraction, seed=seed)
+        assert_valid_region_set(workload.ancestors + workload.descendants)
+        assert 0.0 <= workload.join_a <= 1.0
+        assert 0.0 <= workload.join_d <= 1.0
+        starts = [e.start for e in workload.descendants]
+        assert starts == sorted(starts)
+
+    @given(shapes, fractions, st.integers(min_value=0, max_value=99))
+    @settings(max_examples=40, deadline=None)
+    def test_descendant_protocol_keeps_sizes(self, shape, fraction, seed):
+        dataset = dataset_from_shape(shape)
+        if len(dataset.ancestors) < 3 or len(dataset.descendants) < 3:
+            return
+        workload = vary_descendant_selectivity(dataset, fraction, seed=seed)
+        assert len(workload.descendants) == len(dataset.descendants)
+        assert len(workload.ancestors) == len(dataset.ancestors)
+        assert_valid_region_set(workload.ancestors + workload.descendants)
+
+    @given(shapes, fractions, st.integers(min_value=0, max_value=99))
+    @settings(max_examples=40, deadline=None)
+    def test_both_protocol_keeps_sizes(self, shape, fraction, seed):
+        dataset = dataset_from_shape(shape)
+        if len(dataset.ancestors) < 3 or len(dataset.descendants) < 3:
+            return
+        workload = vary_both_selectivity(dataset, fraction, seed=seed)
+        assert len(workload.descendants) == len(dataset.descendants)
+        assert len(workload.ancestors) == len(dataset.ancestors)
+        assert_valid_region_set(workload.ancestors + workload.descendants)
+
+    @given(shapes, fractions)
+    @settings(max_examples=30, deadline=None)
+    def test_joins_agree_on_derived_workloads(self, shape, fraction):
+        from repro.core.api import oracle_join, structural_join
+        from repro.joins.base import sort_pairs
+
+        dataset = dataset_from_shape(shape)
+        if len(dataset.ancestors) < 3 or len(dataset.descendants) < 3:
+            return
+        workload = vary_both_selectivity(dataset, fraction, seed=1)
+        expected = oracle_join(workload.ancestors, workload.descendants)
+        for algorithm in ("stack-tree", "xr-stack"):
+            outcome = structural_join(workload.ancestors,
+                                      workload.descendants,
+                                      algorithm=algorithm)
+            assert sort_pairs(outcome.pairs) == expected

@@ -1,0 +1,181 @@
+"""Tests for datasets and selectivity derivations (repro.workloads)."""
+
+import pytest
+
+from repro.joins.base import contains
+from repro.workloads.datasets import conference_dataset, department_dataset
+from repro.workloads.selectivity import (
+    DummyFactory,
+    ancestor_chains,
+    region_gaps,
+    vary_ancestor_selectivity,
+    vary_both_selectivity,
+    vary_descendant_selectivity,
+)
+from tests.conftest import entry
+
+
+def realized_join_a(workload):
+    matched = set()
+    chains = ancestor_chains(workload.ancestors, workload.descendants)
+    for chain in chains:
+        matched.update(chain)
+    return len(matched) / len(workload.ancestors)
+
+
+def realized_join_d(workload):
+    chains = ancestor_chains(workload.ancestors, workload.descendants)
+    matched = sum(1 for chain in chains if chain)
+    return matched / len(workload.descendants)
+
+
+class TestDatasets:
+    def test_department_base_properties(self, dept_data):
+        assert dept_data.name == "employee_name"
+        assert dept_data.ancestor_count > 100
+        assert dept_data.descendant_count > 100
+        starts = [e.start for e in dept_data.ancestors]
+        assert starts == sorted(starts)
+
+    def test_department_is_nested(self, dept_data):
+        levels = {e.level for e in dept_data.ancestors}
+        assert len(levels) > 1  # employees at multiple depths
+
+    def test_conference_is_flat(self, conf_data):
+        levels = {e.level for e in conf_data.ancestors}
+        assert len(levels) == 1  # papers never nest
+
+    def test_conference_every_author_matches(self, conf_data):
+        chains = ancestor_chains(conf_data.ancestors, conf_data.descendants)
+        assert all(chain for chain in chains)
+
+    def test_max_end(self, dept_data):
+        assert dept_data.max_end() >= max(e.end for e in dept_data.ancestors)
+
+    def test_datasets_are_seeded(self):
+        a = department_dataset(800, seed=3)
+        b = department_dataset(800, seed=3)
+        assert [e.start for e in a.ancestors] == [e.start for e in b.ancestors]
+
+
+class TestAncestorChains:
+    def test_chains_match_brute_force(self, dept_data):
+        chains = ancestor_chains(dept_data.ancestors, dept_data.descendants)
+        for index in range(0, len(dept_data.descendants), 37):
+            descendant = dept_data.descendants[index]
+            expected = [i for i, a in enumerate(dept_data.ancestors)
+                        if contains(a, descendant)]
+            assert sorted(chains[index]) == expected
+
+    def test_unmatched_descendant_has_empty_chain(self):
+        ancestors = [entry(10, 20)]
+        descendants = [entry(30, 31)]
+        assert ancestor_chains(ancestors, descendants) == [()]
+
+
+class TestRegionGaps:
+    def test_gaps_avoid_ancestor_regions(self):
+        ancestors = [entry(10, 20), entry(12, 15), entry(40, 50)]
+        gaps = region_gaps(ancestors, 60)
+        for low, high in gaps[:-1]:
+            for ancestor in ancestors:
+                # No gap point may fall inside an ancestor region.
+                assert high < ancestor.start or low > ancestor.end
+
+    def test_tail_gap_is_unbounded(self):
+        gaps = region_gaps([entry(1, 5)], 5)
+        assert gaps[-1][1] is None
+        assert gaps[-1][0] > 5
+
+    def test_dummy_factory_produces_disjoint_unmatched(self):
+        ancestors = [entry(10, 30), entry(50, 60)]
+        factory = DummyFactory(region_gaps(ancestors, 70), doc_id=1)
+        dummies = factory.make_many(200)
+        seen = set()
+        for dummy in dummies:
+            assert dummy.end == dummy.start + 1
+            assert dummy.start not in seen
+            seen.add(dummy.start)
+            for ancestor in ancestors:
+                assert not contains(ancestor, dummy)
+
+
+class TestVaryAncestorSelectivity:
+    @pytest.mark.parametrize("target", [0.9, 0.5, 0.1])
+    def test_realized_join_a_close_to_target(self, dept_data, target):
+        workload = vary_ancestor_selectivity(dept_data, target)
+        realized = realized_join_a(workload)
+        assert abs(realized - target) < 0.08
+        assert workload.join_a == pytest.approx(realized, abs=0.02)
+
+    def test_descendant_match_rate_near_99(self, dept_data):
+        workload = vary_ancestor_selectivity(dept_data, 0.5)
+        assert 0.95 <= realized_join_d(workload) <= 1.0
+
+    def test_ancestor_list_unchanged(self, dept_data):
+        workload = vary_ancestor_selectivity(dept_data, 0.3)
+        assert workload.ancestors == dept_data.ancestors
+
+    def test_descendants_sorted(self, dept_data):
+        workload = vary_ancestor_selectivity(dept_data, 0.3)
+        starts = [e.start for e in workload.descendants]
+        assert starts == sorted(starts)
+
+    def test_lower_selectivity_shrinks_descendants(self, dept_data):
+        high = vary_ancestor_selectivity(dept_data, 0.9)
+        low = vary_ancestor_selectivity(dept_data, 0.1)
+        assert len(low.descendants) < len(high.descendants)
+
+    def test_deterministic_for_seed(self, dept_data):
+        a = vary_ancestor_selectivity(dept_data, 0.4, seed=5)
+        b = vary_ancestor_selectivity(dept_data, 0.4, seed=5)
+        assert [e.start for e in a.descendants] == \
+            [e.start for e in b.descendants]
+
+
+class TestVaryDescendantSelectivity:
+    @pytest.mark.parametrize("target", [0.9, 0.5, 0.1])
+    def test_realized_join_d_close_to_target(self, dept_data, target):
+        workload = vary_descendant_selectivity(dept_data, target)
+        assert abs(realized_join_d(workload) - target) < 0.08
+
+    def test_sizes_unchanged(self, dept_data):
+        workload = vary_descendant_selectivity(dept_data, 0.25)
+        assert len(workload.descendants) == dept_data.descendant_count
+        assert len(workload.ancestors) == dept_data.ancestor_count
+
+    def test_high_budget_keeps_coverage_high(self, dept_data):
+        workload = vary_descendant_selectivity(dept_data, 0.9)
+        assert realized_join_a(workload) > 0.8
+
+    def test_coverage_degrades_gracefully_at_tiny_budget(self, dept_data):
+        # At 1 % matched descendants full 99 % ancestor coverage is
+        # infeasible; the derivation reports what it achieved.
+        workload = vary_descendant_selectivity(dept_data, 0.01)
+        assert workload.join_a <= 1.0
+        assert realized_join_d(workload) <= 0.05
+
+
+class TestVaryBothSelectivity:
+    @pytest.mark.parametrize("target", [0.9, 0.4, 0.05])
+    def test_sizes_constant(self, dept_data, target):
+        workload = vary_both_selectivity(dept_data, target)
+        assert len(workload.ancestors) == dept_data.ancestor_count
+        assert len(workload.descendants) == dept_data.descendant_count
+
+    @pytest.mark.parametrize("target", [0.9, 0.4])
+    def test_both_selectivities_near_target(self, dept_data, target):
+        workload = vary_both_selectivity(dept_data, target)
+        assert abs(realized_join_a(workload) - target) < 0.12
+        assert abs(realized_join_d(workload) - target) < 0.12
+
+    def test_reported_values_match_measured(self, dept_data):
+        workload = vary_both_selectivity(dept_data, 0.4)
+        assert workload.join_a == pytest.approx(realized_join_a(workload),
+                                                abs=0.02)
+        assert workload.join_d == pytest.approx(realized_join_d(workload),
+                                                abs=0.02)
+
+    def test_works_on_flat_dataset(self, conf_data):
+        workload = vary_both_selectivity(conf_data, 0.3)
+        assert abs(realized_join_d(workload) - 0.3) < 0.1

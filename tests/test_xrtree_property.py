@@ -1,0 +1,171 @@
+"""Property-based tests for the XR-tree.
+
+Strategies generate random *valid* XML-style region sets (strictly nested or
+disjoint) from random tree shapes; a stateful machine interleaves inserts and
+deletes, validating Definition 4's invariants and query answers after every
+step.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.indexes.xrtree import XRTree, check_xrtree
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDisk
+from repro.xmldata.model import Document, Element, annotate_regions
+from tests.conftest import entry
+
+
+def tree_shape_to_entries(shape, max_children=3):
+    """Turn a child-count sequence into a region-encoded element list."""
+    root = Element("r")
+    frontier = [root]
+    for value in shape:
+        node = frontier.pop(0)
+        for _ in range(value % (max_children + 1)):
+            frontier.append(node.add_child(Element("c")))
+        if not frontier:
+            break
+    annotate_regions(root)
+    document = Document(root)
+    return [entry(n.start, n.end, n.level) for n in document]
+
+
+shapes = st.lists(st.integers(min_value=0, max_value=3),
+                  min_size=1, max_size=120)
+
+
+def fresh_tree(leaf=4, internal=3):
+    pool = BufferPool(InMemoryDisk(512), capacity=48)
+    return XRTree(pool, leaf_capacity=leaf, internal_capacity=internal)
+
+
+class TestBulkLoadProperties:
+    @given(shapes)
+    @settings(max_examples=40, deadline=None)
+    def test_bulk_load_invariants(self, shape):
+        entries = tree_shape_to_entries(shape)
+        tree = fresh_tree()
+        tree.bulk_load(entries)
+        check_xrtree(tree)
+        assert [e.start for e in tree.items()] == [e.start for e in entries]
+
+    @given(shapes, st.integers(min_value=0, max_value=600))
+    @settings(max_examples=60, deadline=None)
+    def test_find_ancestors_matches_oracle(self, shape, point):
+        entries = tree_shape_to_entries(shape)
+        tree = fresh_tree()
+        tree.bulk_load(entries)
+        got = [a.start for a in tree.find_ancestors(point)]
+        expected = [e.start for e in entries if e.start < point < e.end]
+        assert got == expected
+
+    @given(shapes, st.integers(min_value=0, max_value=300),
+           st.integers(min_value=0, max_value=300))
+    @settings(max_examples=60, deadline=None)
+    def test_find_descendants_matches_oracle(self, shape, a, b):
+        low, high = min(a, b), max(a, b)
+        entries = tree_shape_to_entries(shape)
+        tree = fresh_tree()
+        tree.bulk_load(entries)
+        got = [d.start for d in tree.find_descendants(low, high)]
+        expected = [e.start for e in entries if low < e.start < high]
+        assert got == expected
+
+    @given(shapes)
+    @settings(max_examples=30, deadline=None)
+    def test_dynamic_build_equals_bulk_build(self, shape):
+        entries = tree_shape_to_entries(shape)
+        bulk = fresh_tree()
+        bulk.bulk_load(entries)
+        dynamic = fresh_tree()
+        for e in entries:
+            dynamic.insert(e)
+        check_xrtree(dynamic)
+        assert list(bulk.items()) == list(dynamic.items())
+        # Flags may differ (different key sets) but every query agrees.
+        for probe in entries[:: max(1, len(entries) // 10)]:
+            assert [a.start for a in bulk.find_ancestors(probe.start)] == \
+                [a.start for a in dynamic.find_ancestors(probe.start)]
+
+
+class TestInsertionOrderIndependence:
+    @given(shapes, st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_shuffled_insertions_preserve_invariants(self, shape, rng):
+        entries = tree_shape_to_entries(shape)
+        rng.shuffle(entries)
+        tree = fresh_tree()
+        for e in entries:
+            tree.insert(e)
+        check_xrtree(tree)
+        assert tree.size == len(entries)
+
+
+class XRTreeMachine(RuleBasedStateMachine):
+    """Random insert/delete interleavings with full invariant checking.
+
+    The element universe is a fixed nested-region family plus disjoint
+    singletons, so any subset is a valid strictly-nested set.
+    """
+
+    UNIVERSE = (
+        # A deep nested chain.
+        [(i, 1000 - i) for i in range(1, 60)]
+        # Disjoint mid-size regions inside the chain.
+        + [(100 + 10 * i, 100 + 10 * i + 7) for i in range(30)]
+        # Tiny regions nested inside the mid-size ones.
+        + [(100 + 10 * i + 2, 100 + 10 * i + 4) for i in range(30)]
+        # Far-away disjoint singletons.
+        + [(2000 + 3 * i, 2000 + 3 * i + 1) for i in range(30)]
+    )
+
+    def __init__(self):
+        super().__init__()
+        self.pool = BufferPool(InMemoryDisk(512), capacity=48)
+        self.tree = XRTree(self.pool, leaf_capacity=4, internal_capacity=3)
+        self.live = {}
+
+    @rule(index=st.integers(min_value=0, max_value=len(UNIVERSE) - 1))
+    def insert(self, index):
+        start, end = self.UNIVERSE[index]
+        if start in self.live:
+            return
+        self.tree.insert(entry(start, end))
+        self.live[start] = end
+
+    @rule(index=st.integers(min_value=0, max_value=len(UNIVERSE) - 1))
+    def delete(self, index):
+        start, _ = self.UNIVERSE[index]
+        removed = self.tree.delete(start)
+        if start in self.live:
+            assert removed is not None and removed.start == start
+            del self.live[start]
+        else:
+            assert removed is None
+
+    @rule(point=st.integers(min_value=0, max_value=2200))
+    def query_ancestors(self, point):
+        got = [a.start for a in self.tree.find_ancestors(point)]
+        expected = sorted(s for s, e in self.live.items() if s < point < e)
+        assert got == expected
+
+    @rule(low=st.integers(min_value=0, max_value=2200),
+          span=st.integers(min_value=1, max_value=500))
+    def query_descendants(self, low, span):
+        got = [d.start for d in self.tree.find_descendants(low, low + span)]
+        expected = sorted(s for s in self.live if low < s < low + span)
+        assert got == expected
+
+    @invariant()
+    def tree_is_valid(self):
+        check_xrtree(self.tree)
+        assert self.tree.size == len(self.live)
+        assert self.pool.pinned_count == 0
+
+
+TestXRTreeStateMachine = XRTreeMachine.TestCase
+TestXRTreeStateMachine.settings = settings(
+    max_examples=20, stateful_step_count=50, deadline=None
+)
