@@ -26,42 +26,44 @@ def main():
     rng.shuffle(entries)
 
     path = os.path.join(tempfile.mkdtemp(prefix="xrtree-"), "index.pages")
-    context = StorageContext(page_size=2048, buffer_pages=64, path=path)
-    tree = XRTree(context.pool)
+    # The context-manager form closes (and flushes) the file-backed disk on
+    # exit — no bare close() bookkeeping.
+    with StorageContext(page_size=2048, buffer_pages=64, path=path) as context:
+        tree = XRTree(context.pool)
 
-    print("inserting %d employee+name elements in random order..."
-          % len(entries))
-    context.reset_stats()
-    for entry in entries:
-        tree.insert(entry)
-    context.pool.flush_all()
-    io = context.disk.stats
-    print("height=%d size=%d | %.2f page transfers per insert"
-          % (tree.height, tree.size,
-             io.total_transfers / len(entries)))
-    check_xrtree(tree)
-    print("invariants hold after the insert storm")
+        print("inserting %d employee+name elements in random order..."
+              % len(entries))
+        context.reset_stats()
+        for entry in entries:
+            tree.insert(entry)
+        context.pool.flush_all()
+        io = context.disk.stats
+        print("height=%d size=%d | %.2f page transfers per insert"
+              % (tree.height, tree.size,
+                 io.total_transfers / len(entries)))
+        check_xrtree(tree)
+        print("invariants hold after the insert storm")
 
-    victims = rng.sample([entry.start for entry in entries],
-                         len(entries) // 2)
-    context.reset_stats()
-    for start in victims:
-        removed = tree.delete(start)
-        assert removed is not None
-    context.pool.flush_all()
-    io = context.disk.stats
-    print("deleted %d elements | %.2f page transfers per delete"
-          % (len(victims), io.total_transfers / len(victims)))
-    check_xrtree(tree)
-    print("invariants hold after interleaved deletions")
+        victims = rng.sample([entry.start for entry in entries],
+                             len(entries) // 2)
+        context.reset_stats()
+        for start in victims:
+            removed = tree.delete(start)
+            assert removed is not None
+        context.pool.flush_all()
+        io = context.disk.stats
+        print("deleted %d elements | %.2f page transfers per delete"
+              % (len(victims), io.total_transfers / len(victims)))
+        check_xrtree(tree)
+        print("invariants hold after interleaved deletions")
 
-    # The index still answers structural queries correctly.
-    survivor = next(tree.items())
-    print("first surviving element: (%d, %d); it has %d indexed descendants"
-          % (survivor.start, survivor.end,
-             len(tree.find_descendants(survivor.start, survivor.end))))
-    print("index file: %s (%d bytes)" % (path, os.path.getsize(path)))
-    context.close()
+        # The index still answers structural queries correctly.
+        survivor = next(tree.items())
+        print("first surviving element: (%d, %d); it has %d indexed "
+              "descendants"
+              % (survivor.start, survivor.end,
+                 len(tree.find_descendants(survivor.start, survivor.end))))
+        print("index file: %s (%d bytes)" % (path, os.path.getsize(path)))
 
     # Source-document updates: with sparse numbering, insertions take
     # unused region numbers, so only the touched elements hit the indexes.

@@ -1,8 +1,11 @@
 """A persistent XML index database: build, close, reopen, query.
 
-Shows the storage-engine face of the library: a file-backed disk, a catalog
-page recording every structure's metadata, and XR-tree / B+-tree indexes that
-survive process restarts byte-for-byte.
+Shows the storage-engine face of the library: a file-backed storage
+context, a catalog page recording every structure's metadata, and XR-tree /
+B+-tree indexes that survive process restarts byte-for-byte.  Reopening
+goes through an :class:`~repro.storage.indexmanager.IndexManager`, so
+repeated access to the same index reuses one live handle instead of
+re-deserializing it from the catalog.
 
 Run:  python examples/persistent_database.py
 """
@@ -10,44 +13,48 @@ Run:  python examples/persistent_database.py
 import os
 import tempfile
 
+from repro.core import StorageContext
 from repro.indexes.bptree import BPlusTree
 from repro.indexes.xrtree import XRTree, check_xrtree
-from repro.storage.buffer import BufferPool
 from repro.storage.catalog import Catalog
-from repro.storage.disk import FileDisk
+from repro.storage.indexmanager import IndexManager
 from repro.storage.pagedlist import PagedElementList
 from repro.workloads import department_dataset
 
 
 def build_database(path, data):
-    with FileDisk(path, page_size=2048) as disk:
-        pool = BufferPool(disk, capacity=64)
-        catalog = Catalog.create(pool)
+    with StorageContext(page_size=2048, buffer_pages=64,
+                        path=path) as context:
+        catalog = Catalog.create(context.pool)
 
-        employees = XRTree(pool)
+        employees = XRTree(context.pool)
         employees.bulk_load(data.ancestors)
         catalog.save_xrtree("employees", employees)
 
-        names = BPlusTree(pool)
+        names = BPlusTree(context.pool)
         names.bulk_load(data.descendants)
         catalog.save_bptree("names", names)
 
-        raw = PagedElementList.build(pool, data.descendants)
+        raw = PagedElementList.build(context.pool, data.descendants)
         catalog.save_element_list("names_raw", raw)
 
-        pool.flush_all()
+        context.pool.flush_all()
         print("built %s: %d pages, %d bytes"
-              % (os.path.basename(path), disk.allocated_page_count,
+              % (os.path.basename(path),
+                 context.disk.allocated_page_count,
                  os.path.getsize(path)))
 
 
 def reopen_and_query(path, data):
-    with FileDisk(path, page_size=2048) as disk:
-        pool = BufferPool(disk, capacity=64)
-        catalog = Catalog.open(pool)
+    with StorageContext(page_size=2048, buffer_pages=64,
+                        path=path) as context:
+        catalog = Catalog.open(context.pool)
         print("catalog:", catalog.names())
+        manager = context.attach_index_manager(
+            IndexManager(catalog, pool=context.pool)
+        )
 
-        employees = catalog.load_xrtree("employees")
+        employees = manager.get_xrtree("employees")
         check_xrtree(employees)
         print("employees index intact: %d elements, height %d"
               % (employees.size, employees.height))
@@ -58,11 +65,17 @@ def reopen_and_query(path, data):
               % (probe.start, len(ancestors),
                  [a.start for a in ancestors]))
 
-        names = catalog.load_bptree("names")
+        names = manager.get_bptree("names")
         found = names.search(probe.start)
         print("B+-tree lookup of that name:", (found.start, found.end))
 
-        misses = pool.stats.misses
+        # Re-fetching goes through the handle cache, not the catalog.
+        assert manager.get_xrtree("employees") is employees
+        stats = context.index_stats
+        print("index handles: %d loads, %d hits (hit rate %.2f)"
+              % (stats.loads, stats.hits, stats.hit_rate))
+
+        misses = context.pool.stats.misses
         print("all of the above cost %d page reads from a cold cache"
               % misses)
 

@@ -16,23 +16,25 @@ from dataclasses import dataclass, field
 
 from repro.indexes.bptree import BPlusTree
 from repro.indexes.xrtree import XRTree
-from repro.joins import (
-    bplus_join,
-    mpmgjn_join,
-    nested_loop_join,
-    stack_tree_anc_join,
-    stack_tree_join,
-    xr_stack_join,
-)
+from repro.joins import nested_loop_join
 from repro.joins.base import JoinStats
+from repro.joins.registry import (
+    INPUT_BPLUS,
+    INPUT_ELEMENT_LIST,
+    INPUT_XRTREE,
+    algorithm_names,
+    get_algorithm,
+)
 from repro.storage.buffer import DEFAULT_POOL_PAGES, BufferPool
 from repro.storage.disk import DEFAULT_PAGE_SIZE, FileDisk, InMemoryDisk
+from repro.storage.indexmanager import IndexManagerStats
 from repro.storage.pagedlist import PagedElementList
 from repro.storage.timemodel import DiskTimeModel
 
-#: Names accepted by :func:`structural_join`: the paper's Table 1 plus the
-#: ancestor-ordered Stack-Tree variant from the same cited work.
-ALGORITHMS = ("stack-tree", "stack-tree-anc", "mpmgjn", "b+", "xr-stack")
+#: The built-in :func:`structural_join` algorithms: the paper's Table 1 plus
+#: the ancestor-ordered Stack-Tree variant from the same cited work.  The
+#: registry (:mod:`repro.joins.registry`) may grow beyond these.
+ALGORITHMS = algorithm_names()
 
 
 class StorageContext:
@@ -40,7 +42,10 @@ class StorageContext:
 
     Mirrors the paper's experimental system: a storage manager, a buffer
     pool of a fixed number of frames (default 100 pages, as in Section 6.1)
-    and index modules on top.
+    and index modules on top.  Usable as a context manager::
+
+        with StorageContext(path="corpus.pages") as context:
+            ...
     """
 
     def __init__(self, page_size=DEFAULT_PAGE_SIZE,
@@ -52,10 +57,34 @@ class StorageContext:
             self.disk = FileDisk(path, page_size)
         self.pool = BufferPool(self.disk, buffer_pages)
         self.time_model = time_model or DiskTimeModel()
+        self.indexes = None  # attached IndexManager, if any
+
+    @classmethod
+    def from_pool(cls, pool, time_model=None):
+        """Wrap an existing buffer pool (and its disk) in a context.
+
+        Lets measurement helpers run against structures that were built
+        elsewhere — e.g. prebuilt join inputs handed to
+        :func:`structural_join`.
+        """
+        context = cls.__new__(cls)
+        context.disk = pool.disk
+        context.pool = pool
+        context.time_model = time_model or DiskTimeModel()
+        context.indexes = None
+        return context
+
+    def attach_index_manager(self, manager):
+        """Adopt ``manager`` so its stats surface here and it closes with
+        the context."""
+        self.indexes = manager
+        return manager
 
     def reset_stats(self):
         self.disk.stats.reset()
         self.pool.reset_stats()
+        if self.indexes is not None:
+            self.indexes.stats.reset()
 
     @property
     def page_misses(self):
@@ -65,6 +94,17 @@ class StorageContext:
     def writebacks(self):
         return self.pool.stats.writebacks
 
+    @property
+    def index_stats(self):
+        """Handle-cache counters of the attached index manager.
+
+        Always returns an :class:`IndexManagerStats` (all zero when no
+        manager is attached), so callers can read counters unconditionally.
+        """
+        if self.indexes is not None:
+            return self.indexes.stats
+        return IndexManagerStats()
+
     def derived_seconds(self, elements_scanned=0):
         """Model-based elapsed time for the I/O performed so far."""
         return self.time_model.elapsed_seconds(
@@ -73,8 +113,20 @@ class StorageContext:
         )
 
     def close(self):
+        """Flush the attached index manager and the pool, then close a
+        file-backed disk.  Idempotent."""
+        if self.indexes is not None:
+            self.indexes.close()
         if isinstance(self.disk, FileDisk):
+            if not self.disk.closed:
+                self.pool.flush_all()
             self.disk.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
 
 
 class XRTreeIndex:
@@ -82,10 +134,15 @@ class XRTreeIndex:
 
     Wraps :class:`~repro.indexes.xrtree.XRTree` with entry-level conveniences
     (ancestors/descendants/parent/children of an element) and owns a storage
-    context unless one is supplied.
+    context unless one is supplied.  Usable as a context manager; on exit an
+    *owned* context is closed, a supplied one is left to its owner::
+
+        with XRTreeIndex.build(entries) as index:
+            ...
     """
 
     def __init__(self, context=None, **tree_options):
+        self._owns_context = context is None
         self.context = context or StorageContext()
         self.tree = XRTree(self.context.pool, **tree_options)
 
@@ -138,6 +195,17 @@ class XRTreeIndex:
 
         return check_xrtree(self.tree)
 
+    def close(self):
+        """Close the owned storage context (no-op for a supplied one)."""
+        if self._owns_context:
+            self.context.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+
 
 @dataclass
 class JoinOutcome:
@@ -176,46 +244,89 @@ def build_xr_tree(entries, pool, fill_factor=1.0, optimize_split_keys=True):
     return tree
 
 
+#: What a prebuilt join input is, per registry input kind.
+_PREBUILT_TYPES = {
+    INPUT_ELEMENT_LIST: PagedElementList,
+    INPUT_BPLUS: BPlusTree,
+    INPUT_XRTREE: XRTree,
+}
+
+_BUILDERS = {
+    INPUT_ELEMENT_LIST: build_element_list,
+    INPUT_BPLUS: build_bplus_tree,
+    INPUT_XRTREE: build_xr_tree,
+}
+
+
+def _resolve_join_input(side, value, input_kind, pool, fill_factor):
+    """``value`` as the representation ``input_kind`` requires.
+
+    Accepts either a start-sorted entry list (built fresh inside ``pool``)
+    or an already-built structure — :class:`XRTreeIndex`,
+    :class:`~repro.indexes.xrtree.XRTree`,
+    :class:`~repro.indexes.bptree.BPlusTree` or
+    :class:`~repro.storage.pagedlist.PagedElementList` — which is used
+    as-is (the rebuild is skipped).  Returns ``(input, was_prebuilt)``.
+    """
+    if isinstance(value, XRTreeIndex):
+        value = value.tree
+    if isinstance(value, tuple(_PREBUILT_TYPES.values())):
+        expected = _PREBUILT_TYPES[input_kind]
+        if not isinstance(value, expected):
+            raise ValueError(
+                "prebuilt %s input is a %s but the algorithm needs a %s"
+                % (side, type(value).__name__, expected.__name__)
+            )
+        return value, True
+    return _BUILDERS[input_kind](value, pool, fill_factor), False
+
+
 def structural_join(ancestors, descendants, algorithm="xr-stack",
                     parent_child=False, context=None, collect=True,
                     fill_factor=1.0):
     """Run one structural join end to end and measure it.
 
-    ``ancestors`` and ``descendants`` are start-sorted element-entry lists;
-    the function builds the representation the chosen algorithm consumes
-    (paged lists, B+-trees or XR-trees) inside ``context`` (a fresh in-memory
-    context by default), clears the statistics so the join itself is measured
-    cold — matching the paper's per-run measurements — and returns a
-    :class:`JoinOutcome`.
+    ``ancestors`` and ``descendants`` are either start-sorted element-entry
+    lists — in which case the function builds the representation the chosen
+    algorithm consumes (paged lists, B+-trees or XR-trees) inside
+    ``context`` (a fresh in-memory context by default) — or already-built
+    structures (``XRTreeIndex``, ``XRTree``, ``BPlusTree``,
+    ``PagedElementList``), which are joined directly without a rebuild.
+    Algorithms are resolved through :mod:`repro.joins.registry`, so
+    registered extensions work alongside the built-in names.
+
+    Statistics are cleared before the join so it is measured cold —
+    matching the paper's per-run measurements — and a :class:`JoinOutcome`
+    is returned.
     """
-    if algorithm not in ALGORITHMS:
-        raise ValueError(
-            "unknown algorithm %r (expected one of %s)"
-            % (algorithm, ", ".join(ALGORITHMS))
-        )
+    spec = get_algorithm(algorithm)
+    if context is None:
+        for value in (ancestors, descendants):
+            if isinstance(value, XRTreeIndex):
+                context = value.context
+                break
+            if isinstance(value, tuple(_PREBUILT_TYPES.values())):
+                context = StorageContext.from_pool(value.pool)
+                break
     context = context or StorageContext()
     pool = context.pool
-    if algorithm in ("stack-tree", "stack-tree-anc", "mpmgjn"):
-        a_input = build_element_list(ancestors, pool, fill_factor)
-        d_input = build_element_list(descendants, pool, fill_factor)
-        runner = {"stack-tree": stack_tree_join,
-                  "stack-tree-anc": stack_tree_anc_join,
-                  "mpmgjn": mpmgjn_join}[algorithm]
-    elif algorithm == "b+":
-        a_input = build_bplus_tree(ancestors, pool, fill_factor)
-        d_input = build_bplus_tree(descendants, pool, fill_factor)
-        runner = bplus_join
-    else:
-        a_input = build_xr_tree(ancestors, pool, fill_factor)
-        d_input = build_xr_tree(descendants, pool, fill_factor)
-        runner = xr_stack_join
+    a_input, a_prebuilt = _resolve_join_input(
+        "ancestor", ancestors, spec.input_kind, pool, fill_factor)
+    d_input, d_prebuilt = _resolve_join_input(
+        "descendant", descendants, spec.input_kind, pool, fill_factor)
+    for prebuilt, built in ((a_prebuilt, a_input), (d_prebuilt, d_input)):
+        if prebuilt and built.pool is not pool:
+            raise ValueError(
+                "prebuilt inputs must live in the join context's buffer "
+                "pool; pass context=<their StorageContext> (or none at all)"
+            )
     pool.flush_all()
     pool.clear()  # start the measured join with a cold buffer pool
     build_misses = pool.stats.misses
     context.reset_stats()
     started = time.perf_counter()
-    pairs, stats = runner(a_input, d_input, parent_child=parent_child,
-                          collect=collect)
+    pairs, stats = spec.runner(a_input, d_input, parent_child=parent_child,
+                               collect=collect)
     wall = time.perf_counter() - started
     return JoinOutcome(
         algorithm=algorithm,

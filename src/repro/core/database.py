@@ -20,14 +20,22 @@ the catalog); adding a document inserts its elements *dynamically*
 real).  Documents get disjoint region ranges exactly as
 :class:`~repro.xmldata.corpus.Corpus` assigns them, so joins never pair
 elements across documents.
+
+Index handles are owned by an :class:`~repro.storage.indexmanager.\
+IndexManager`: repeated queries reuse live trees instead of
+re-deserializing them from the catalog, mutations mark handles dirty and
+catalog metadata writes back in batches (on eviction, ``flush()`` and
+``close()``), and a mutation invalidates only the touched tags' query
+caches instead of discarding the whole engine.  ``db.index_stats`` exposes
+the handle-cache counters.
 """
 
 import json
 
 from repro.core.api import StorageContext
-from repro.indexes.xrtree import XRTree
 from repro.query.engine import PathQueryEngine
-from repro.storage.catalog import Catalog, CatalogError
+from repro.storage.catalog import Catalog
+from repro.storage.indexmanager import DEFAULT_HANDLE_BUDGET, IndexManager
 from repro.storage.pages import ElementEntry
 from repro.xmldata.parser import parse_document
 
@@ -42,36 +50,48 @@ class XmlDatabaseError(Exception):
 class XmlDatabase:
     """A persistent, queryable collection of XML documents."""
 
-    def __init__(self, context, catalog):
+    def __init__(self, context, catalog, handle_budget=DEFAULT_HANDLE_BUDGET):
         self._context = context
         self._catalog = catalog
+        self._indexes = context.attach_index_manager(
+            IndexManager(catalog, pool=context.pool, capacity=handle_budget)
+        )
         self._registry = self._load_registry()
         self._engine = None
 
     # -- lifecycle ------------------------------------------------------------
 
     @classmethod
-    def create(cls, path=None, page_size=4096, buffer_pages=256):
+    def create(cls, path=None, page_size=4096, buffer_pages=256,
+               handle_budget=DEFAULT_HANDLE_BUDGET):
         """Create a fresh database (in memory when ``path`` is None)."""
         context = StorageContext(page_size, buffer_pages, path=path)
         catalog = Catalog.create(context.pool)
-        database = cls(context, catalog)
+        database = cls(context, catalog, handle_budget)
         database._save_registry()
         return database
 
     @classmethod
-    def open(cls, path, page_size=4096, buffer_pages=256):
+    def open(cls, path, page_size=4096, buffer_pages=256,
+             handle_budget=DEFAULT_HANDLE_BUDGET):
         """Reopen an existing database file."""
         context = StorageContext(page_size, buffer_pages, path=path)
         catalog = Catalog.open(context.pool)
-        return cls(context, catalog)
+        return cls(context, catalog, handle_budget)
 
     def flush(self):
+        """Write back dirty index metadata, then every dirty page."""
+        self._indexes.flush()
         self._context.pool.flush_all()
 
     def close(self):
         self.flush()
         self._context.close()
+
+    @property
+    def index_stats(self):
+        """Handle-cache counters (hits, misses, loads, evictions, ...)."""
+        return self._indexes.stats
 
     def __enter__(self):
         return self
@@ -105,17 +125,17 @@ class XmlDatabase:
             ))
         known = set(self._registry["tags"])
         for tag, entries in per_tag.items():
-            tree = self._tree_for(tag, create=True)
+            tree = self._indexes.get_or_create_xrtree(_tree_name(tag))
+            self._indexes.mark_dirty(_tree_name(tag))
             if tree.size == 0:
                 tree.bulk_load(sorted(entries, key=lambda e: e.start))
             else:
                 for entry in entries:
                     tree.insert(entry)
-            self._catalog.save_xrtree(_tree_name(tag), tree)
             known.add(tag)
+            self._invalidate_tag(tag)
         self._registry["tags"] = sorted(known)
         self._save_registry()
-        self._engine = None  # stale caches
         return doc_id
 
     def remove_document(self, doc_id):
@@ -132,21 +152,28 @@ class XmlDatabase:
         info = documents[doc_id - 1]
         if info.get("removed"):
             raise XmlDatabaseError("document %d already removed" % doc_id)
+        survivors = []
         for tag in list(self._registry["tags"]):
-            tree = self._tree_for(tag)
+            name = _tree_name(tag)
+            tree = self._indexes.get_xrtree(name)
             if tree is None:
                 continue
             doomed = [e.start for e in tree.items() if e.doc_id == doc_id]
-            for start in doomed:
-                tree.delete(start)
-            self._catalog.save_xrtree(_tree_name(tag), tree)
+            if doomed:
+                self._indexes.mark_dirty(name)
+                for start in doomed:
+                    tree.delete(start)
+                self._invalidate_tag(tag)
+            if tree.size == 0:
+                # An emptied tag must not linger in the catalog: drop the
+                # handle and tombstone the ``tag:<name>`` entry so the
+                # catalog stays consistent with ``tags()``.
+                self._indexes.drop(name)
+            else:
+                survivors.append(tag)
         info["removed"] = True
-        self._registry["tags"] = [
-            tag for tag in self._registry["tags"]
-            if self.element_count(tag) > 0
-        ]
+        self._registry["tags"] = survivors
         self._save_registry()
-        self._engine = None
 
     def documents(self):
         """(doc_id, name) pairs in insertion order (removed ones excluded)."""
@@ -217,16 +244,20 @@ class XmlDatabase:
     # -- internals ------------------------------------------------------------------------
 
     def _tree_for(self, tag, create=False):
-        try:
-            return self._catalog.load_xrtree(_tree_name(tag))
-        except CatalogError:
-            if not create:
-                return None
-            tree = XRTree(self._context.pool)
-            self._catalog.save_xrtree(_tree_name(tag), tree)
-            return tree
+        """The live XR-tree handle for ``tag`` (cached by the manager)."""
+        name = _tree_name(tag)
+        if create:
+            return self._indexes.get_or_create_xrtree(name)
+        return self._indexes.get_xrtree(name)
+
+    def _invalidate_tag(self, tag):
+        """Drop only the touched tag's query-engine caches."""
+        if self._engine is not None:
+            self._engine.invalidate_tag(tag)
 
     def _load_registry(self):
+        from repro.storage.catalog import CatalogError
+
         try:
             return json.loads(self._catalog.load_blob(_REGISTRY))
         except CatalogError:

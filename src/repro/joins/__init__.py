@@ -19,19 +19,31 @@ from repro.joins.bplus_variants import (
     with_containment_pointers,
 )
 from repro.joins.mpmgjn import mpmgjn_join
+from repro.joins.registry import (
+    JoinAlgorithm,
+    algorithm_names,
+    get_algorithm,
+    register_algorithm,
+    unregister_algorithm,
+)
 from repro.joins.stack_tree import stack_tree_join
 from repro.joins.stack_tree_anc import stack_tree_anc_join
 from repro.joins.xr_stack import xr_stack_join
 
 __all__ = [
+    "JoinAlgorithm",
     "JoinStats",
+    "algorithm_names",
     "bplus_join",
     "bplus_psp_join",
     "bplus_sp_join",
+    "get_algorithm",
     "mpmgjn_join",
     "nested_loop_join",
+    "register_algorithm",
     "stack_tree_anc_join",
     "stack_tree_join",
+    "unregister_algorithm",
     "with_containment_pointers",
     "xr_stack_join",
 ]

@@ -83,16 +83,43 @@ class PathQueryEngine:
         return self._tag_entries[tag]
 
     def index_for(self, tag):
-        """The cached XR-tree index over ``tag``'s element set."""
+        """The XR-tree index over ``tag``'s element set.
+
+        Loader-provided trees are *not* cached here: the loader (typically
+        an :class:`~repro.storage.indexmanager.IndexManager` behind an
+        :class:`~repro.core.database.XmlDatabase`) owns their lifecycle,
+        and double-caching would let this engine serve a handle the manager
+        already evicted or mutated.  Only trees the engine builds itself
+        are kept in ``_tag_indexes``.
+        """
+        if self._index_loader is not None:
+            tree = self._index_loader(tag)
+            if tree is not None:
+                return tree
         if tag not in self._tag_indexes:
-            tree = None
-            if self._index_loader is not None:
-                tree = self._index_loader(tag)
-            if tree is None:
-                tree = build_xr_tree(self.entries_for(tag),
-                                     self.context.pool)
-            self._tag_indexes[tag] = tree
+            self._tag_indexes[tag] = build_xr_tree(self.entries_for(tag),
+                                                   self.context.pool)
         return self._tag_indexes[tag]
+
+    # -- cache invalidation ---------------------------------------------------
+
+    def invalidate_tag(self, tag):
+        """Drop cached state for one tag (after its element set mutated).
+
+        The ``"*"`` wildcard set aggregates every tag, so it is dropped
+        alongside, as is the known-tag list (the mutation may have
+        introduced or removed a tag).
+        """
+        for cache in (self._tag_entries, self._tag_indexes):
+            cache.pop(tag, None)
+            cache.pop("*", None)
+        self._all_tags = None
+
+    def invalidate_all(self):
+        """Drop every cached element set and index."""
+        self._tag_entries.clear()
+        self._tag_indexes.clear()
+        self._all_tags = None
 
     # -- evaluation -----------------------------------------------------------------
 

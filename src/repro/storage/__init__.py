@@ -18,6 +18,11 @@ from repro.storage.errors import (
     PageNotFoundError,
     StorageError,
 )
+from repro.storage.indexmanager import (
+    IndexManager,
+    IndexManagerError,
+    IndexManagerStats,
+)
 from repro.storage.pages import (
     DEFAULT_PAGE_SIZE,
     ElementEntry,
@@ -36,6 +41,9 @@ __all__ = [
     "DiskTimeModel",
     "ElementEntry",
     "FileDisk",
+    "IndexManager",
+    "IndexManagerError",
+    "IndexManagerStats",
     "InMemoryDisk",
     "IOStats",
     "Page",

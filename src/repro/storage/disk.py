@@ -178,6 +178,10 @@ class FileDisk(SimulatedDisk):
         self._live = set(range(1, existing + 1))
         self._next_page_id = existing + 1
 
+    @property
+    def closed(self):
+        return self._fd is None
+
     def close(self):
         if self._fd is not None:
             os.close(self._fd)

@@ -1,0 +1,340 @@
+"""Cached, write-back lifecycle management for catalogued index handles.
+
+The catalog (:mod:`repro.storage.catalog`) makes index structures
+*reopenable*: tree metadata (root page, height, size, capacities) lives in
+catalog entries, and ``load_xrtree``/``save_xrtree`` reconstruct or persist
+one structure at a time.  What it does not provide is a *lifecycle*: every
+``load_`` call scans catalog pages and builds a fresh Python object, and
+every mutation forces an immediate ``save_`` — write-through at tree
+granularity.  Under a query-plus-update workload that means the hot path
+re-deserializes the same handful of trees over and over.
+
+:class:`IndexManager` adds the missing layer, the same shape a buffer
+manager gives pages but at whole-structure granularity:
+
+* **handle cache** — live ``XRTree`` / ``BPlusTree`` / ``PagedElementList``
+  objects keyed by catalog name, LRU-ordered, bounded by ``capacity``;
+* **dirty tracking** — callers :meth:`mark_dirty` a handle before mutating
+  the structure; clean handles are dropped on eviction, dirty ones have
+  their metadata written back to the catalog first;
+* **batched write-back** — catalog saves happen on eviction, on
+  :meth:`flush` and on :meth:`close`, not once per mutation;
+* **instrumentation** — :class:`IndexManagerStats` counts handle hits and
+  misses, catalog loads, creations, evictions, write-backs and
+  invalidations, surfaced through ``StorageContext.index_stats``.
+
+Contract for mutators: fetch the handle and call :meth:`mark_dirty` *before*
+mutating the structure, then mutate without interleaving other manager
+calls.  Eviction can only happen inside a manager call, so a handle marked
+dirty up front is guaranteed to have its post-mutation metadata written
+back whenever it is evicted later.
+
+Usage::
+
+    manager = IndexManager(catalog, capacity=64)
+    tree = manager.get_or_create_xrtree("tag:employee")
+    manager.mark_dirty("tag:employee")
+    tree.insert(entry)
+    ...
+    manager.flush()        # batched catalog write-back
+    manager.close()
+"""
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.storage.catalog import CatalogError
+from repro.storage.errors import StorageError
+
+DEFAULT_HANDLE_BUDGET = 64
+
+#: Structure kinds a manager can cache, mapped to the catalog's typed
+#: load/save method names.
+_KINDS = {
+    "xr-tree": ("load_xrtree", "save_xrtree"),
+    "b+tree": ("load_bptree", "save_bptree"),
+    "element-list": ("load_element_list", "save_element_list"),
+}
+
+
+class IndexManagerError(StorageError):
+    """Lifecycle misuse: unknown handles, kind mismatches, use after close."""
+
+
+@dataclass
+class IndexManagerStats:
+    """Counters for handle requests served by an :class:`IndexManager`.
+
+    ``hits``/``misses`` count :meth:`IndexManager.get` style requests served
+    from the handle cache versus not; ``loads`` counts catalog
+    deserializations (the expensive path the cache exists to avoid);
+    ``creations`` counts fresh structures registered through
+    ``get_or_create_*``; ``evictions``/``writebacks`` count LRU evictions
+    and catalog metadata saves; ``invalidations`` counts handles discarded
+    or dropped without write-back.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    loads: int = 0
+    creations: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    invalidations: int = 0
+
+    @property
+    def requests(self):
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        if not self.requests:
+            return 0.0
+        return self.hits / self.requests
+
+    def reset(self):
+        self.hits = 0
+        self.misses = 0
+        self.loads = 0
+        self.creations = 0
+        self.evictions = 0
+        self.writebacks = 0
+        self.invalidations = 0
+
+    def snapshot(self):
+        return IndexManagerStats(self.hits, self.misses, self.loads,
+                                 self.creations, self.evictions,
+                                 self.writebacks, self.invalidations)
+
+
+class IndexHandle:
+    """One cached live structure plus its write-back state."""
+
+    __slots__ = ("name", "kind", "structure", "dirty", "persisted")
+
+    def __init__(self, name, kind, structure, dirty, persisted):
+        self.name = name
+        self.kind = kind
+        self.structure = structure
+        self.dirty = dirty
+        self.persisted = persisted  # has a catalog entry on disk
+
+
+class IndexManager:
+    """LRU-cached, write-back handles over one catalog.
+
+    ``capacity`` bounds the number of resident handles (the *handle
+    budget*); the pages behind each structure are still governed by the
+    buffer pool, so a tiny budget stresses the manager without starving
+    the trees.
+    """
+
+    def __init__(self, catalog, pool=None, capacity=DEFAULT_HANDLE_BUDGET):
+        if capacity < 1:
+            raise IndexManagerError("handle budget must be at least 1")
+        self._catalog = catalog
+        self._pool = pool if pool is not None else catalog._pool
+        self.capacity = capacity
+        self.stats = IndexManagerStats()
+        self._handles = OrderedDict()  # name -> IndexHandle, LRU order
+        self._closed = False
+
+    # -- generic handle access -------------------------------------------------
+
+    def _check_open(self):
+        if self._closed:
+            raise IndexManagerError("index manager is closed")
+
+    def _get(self, name, kind, factory=None):
+        """The cached handle for ``name``, loading or creating on miss.
+
+        Returns None when the name is not catalogued and no ``factory``
+        was given.
+        """
+        self._check_open()
+        if kind not in _KINDS:
+            raise IndexManagerError("unknown structure kind %r" % kind)
+        handle = self._handles.get(name)
+        if handle is not None:
+            if handle.kind != kind:
+                raise IndexManagerError(
+                    "cached handle %r is a %s, not a %s"
+                    % (name, handle.kind, kind)
+                )
+            self.stats.hits += 1
+            self._handles.move_to_end(name)
+            return handle
+        self.stats.misses += 1
+        loader = getattr(self._catalog, _KINDS[kind][0])
+        try:
+            structure = loader(name)
+        except CatalogError:
+            if name in self._catalog.names():
+                # Catalogued, but as another kind: surface the conflict
+                # instead of shadowing the entry with a fresh structure.
+                raise IndexManagerError(
+                    "catalogued structure %r is not a %s" % (name, kind)
+                )
+            if factory is None:
+                return None
+            structure = factory()
+            self.stats.creations += 1
+            handle = IndexHandle(name, kind, structure,
+                                 dirty=True, persisted=False)
+        else:
+            self.stats.loads += 1
+            handle = IndexHandle(name, kind, structure,
+                                 dirty=False, persisted=True)
+        self._admit(handle)
+        return handle
+
+    def _admit(self, handle):
+        while len(self._handles) >= self.capacity:
+            _name, victim = self._handles.popitem(last=False)
+            self.stats.evictions += 1
+            if victim.dirty:
+                self._writeback(victim)
+        self._handles[handle.name] = handle
+
+    def _writeback(self, handle):
+        saver = getattr(self._catalog, _KINDS[handle.kind][1])
+        saver(handle.name, handle.structure)
+        handle.dirty = False
+        handle.persisted = True
+        self.stats.writebacks += 1
+
+    # -- typed access ----------------------------------------------------------
+
+    def get_xrtree(self, name):
+        """The live XR-tree catalogued as ``name``, or None."""
+        handle = self._get(name, "xr-tree")
+        return handle.structure if handle is not None else None
+
+    def get_or_create_xrtree(self, name, **tree_options):
+        """The live XR-tree for ``name``, creating an empty one if absent.
+
+        A created tree is registered dirty; its catalog entry materializes
+        on the next write-back.
+        """
+        def factory():
+            from repro.indexes.xrtree import XRTree
+
+            return XRTree(self._pool, **tree_options)
+
+        return self._get(name, "xr-tree", factory).structure
+
+    def get_bptree(self, name):
+        """The live B+-tree catalogued as ``name``, or None."""
+        handle = self._get(name, "b+tree")
+        return handle.structure if handle is not None else None
+
+    def get_or_create_bptree(self, name, **tree_options):
+        def factory():
+            from repro.indexes.bptree import BPlusTree
+
+            return BPlusTree(self._pool, **tree_options)
+
+        return self._get(name, "b+tree", factory).structure
+
+    def get_element_list(self, name):
+        """The paged element list catalogued as ``name``, or None."""
+        handle = self._get(name, "element-list")
+        return handle.structure if handle is not None else None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def mark_dirty(self, name):
+        """Record that ``name``'s structure is about to be mutated.
+
+        Must be called while the handle is resident (i.e. right after the
+        ``get`` that returned it); raises if the handle is not cached.
+        """
+        self._check_open()
+        handle = self._handles.get(name)
+        if handle is None:
+            raise IndexManagerError(
+                "mark_dirty(%r): handle not resident; fetch it first" % name
+            )
+        handle.dirty = True
+
+    def is_dirty(self, name):
+        handle = self._handles.get(name)
+        return bool(handle and handle.dirty)
+
+    def flush(self, name=None):
+        """Write dirty handle metadata back to the catalog.
+
+        Flushes one handle when ``name`` is given, every dirty handle
+        otherwise.  Handles stay resident.  Returns the number of
+        write-backs performed.
+        """
+        self._check_open()
+        if name is not None:
+            handles = [self._handles[name]] if name in self._handles else []
+        else:
+            handles = list(self._handles.values())
+        written = 0
+        for handle in handles:
+            if handle.dirty:
+                self._writeback(handle)
+                written += 1
+        return written
+
+    def discard(self, name):
+        """Drop a cached handle *without* write-back (cache invalidation).
+
+        The catalog entry, if any, is untouched; a later ``get`` reloads
+        from the catalog.  Unknown names are ignored.
+        """
+        self._check_open()
+        if self._handles.pop(name, None) is not None:
+            self.stats.invalidations += 1
+
+    def drop(self, name):
+        """Remove ``name`` entirely: the cached handle and the catalog entry.
+
+        Used to tombstone structures that became empty (e.g. a tag whose
+        last element was deleted).  Tolerates handles that were created but
+        never written back, and names that are not resident.
+        """
+        self._check_open()
+        handle = self._handles.pop(name, None)
+        if handle is not None:
+            self.stats.invalidations += 1
+        if handle is None or handle.persisted:
+            try:
+                self._catalog.remove(name)
+            except CatalogError:
+                if handle is not None:
+                    raise
+
+    def close(self):
+        """Flush every dirty handle and release the cache (idempotent)."""
+        if self._closed:
+            return
+        self.flush()
+        self._handles.clear()
+        self._closed = True
+
+    @property
+    def closed(self):
+        return self._closed
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+
+    # -- introspection ---------------------------------------------------------
+
+    def __contains__(self, name):
+        return name in self._handles
+
+    def __len__(self):
+        return len(self._handles)
+
+    def resident(self):
+        """Cached names in LRU order (oldest first), with dirty flags."""
+        return [(handle.name, handle.dirty)
+                for handle in self._handles.values()]

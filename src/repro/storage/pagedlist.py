@@ -89,6 +89,11 @@ class PagedElementList:
         self.length = length
         self.page_count = page_count
 
+    @property
+    def pool(self):
+        """The buffer pool the list's pages live in."""
+        return self._pool
+
     @classmethod
     def build(cls, pool, entries, fill_factor=1.0):
         """Bulk-load ``entries`` (already sorted by document order).

@@ -159,3 +159,109 @@ class TestStructuralJoin:
                                   collect=False)
         assert outcome.pair_count > 0
         assert context.disk.allocated_page_count > 0
+
+
+class TestPrebuiltInputs:
+    def test_xrtree_index_inputs_skip_rebuild(self, dept_data):
+        expected = oracle_join(dept_data.ancestors, dept_data.descendants)
+        context = StorageContext()
+        a_index = XRTreeIndex.build(dept_data.ancestors, context)
+        d_index = XRTreeIndex.build(dept_data.descendants, context)
+        pages_before = context.disk.allocated_page_count
+        outcome = structural_join(a_index, d_index, algorithm="xr-stack")
+        assert sort_pairs(outcome.pairs) == expected
+        # No new pages were allocated: the prebuilt trees were joined as-is.
+        assert context.disk.allocated_page_count == pages_before
+
+    def test_raw_tree_inputs(self, dept_data):
+        from repro.core.api import build_xr_tree
+
+        expected = oracle_join(dept_data.ancestors, dept_data.descendants)
+        context = StorageContext()
+        a_tree = build_xr_tree(dept_data.ancestors, context.pool)
+        d_tree = build_xr_tree(dept_data.descendants, context.pool)
+        outcome = structural_join(a_tree, d_tree, algorithm="xr-stack")
+        assert sort_pairs(outcome.pairs) == expected
+
+    def test_bplus_and_list_inputs(self, dept_data):
+        from repro.core.api import build_bplus_tree, build_element_list
+
+        expected = oracle_join(dept_data.ancestors, dept_data.descendants)
+        context = StorageContext()
+        a_bp = build_bplus_tree(dept_data.ancestors, context.pool)
+        d_bp = build_bplus_tree(dept_data.descendants, context.pool)
+        outcome = structural_join(a_bp, d_bp, algorithm="b+",
+                                  context=context)
+        assert sort_pairs(outcome.pairs) == expected
+
+        a_list = build_element_list(dept_data.ancestors, context.pool)
+        d_list = build_element_list(dept_data.descendants, context.pool)
+        outcome = structural_join(a_list, d_list, algorithm="stack-tree",
+                                  context=context)
+        assert sort_pairs(outcome.pairs) == expected
+
+    def test_mixed_prebuilt_and_entries(self, dept_data):
+        expected = oracle_join(dept_data.ancestors, dept_data.descendants)
+        context = StorageContext()
+        a_index = XRTreeIndex.build(dept_data.ancestors, context)
+        outcome = structural_join(a_index, dept_data.descendants,
+                                  algorithm="xr-stack", context=context)
+        assert sort_pairs(outcome.pairs) == expected
+
+    def test_prebuilt_kind_mismatch_rejected(self, dept_data):
+        context = StorageContext()
+        a_index = XRTreeIndex.build(dept_data.ancestors, context)
+        with pytest.raises(ValueError):
+            structural_join(a_index, dept_data.descendants, algorithm="b+",
+                            context=context)
+
+    def test_prebuilt_foreign_pool_rejected(self, dept_data):
+        a_index = XRTreeIndex.build(dept_data.ancestors)
+        with pytest.raises(ValueError):
+            structural_join(a_index, dept_data.descendants,
+                            algorithm="xr-stack",
+                            context=StorageContext())
+
+
+class TestAlgorithmRegistry:
+    def test_builtins_registered(self):
+        from repro.joins.registry import algorithm_names, get_algorithm
+
+        assert set(ALGORITHMS) <= set(algorithm_names())
+        assert get_algorithm("xr-stack").input_kind == "xr-tree"
+        assert get_algorithm("b+").input_kind == "b+tree"
+        assert get_algorithm("stack-tree").input_kind == "element-list"
+
+    def test_plugin_algorithm_dispatches(self, dept_data):
+        from repro.joins.registry import (
+            INPUT_ELEMENT_LIST,
+            register_algorithm,
+            unregister_algorithm,
+        )
+        from repro.joins.stack_tree import stack_tree_join
+
+        register_algorithm("test-plugin", stack_tree_join,
+                           INPUT_ELEMENT_LIST, "registry test double")
+        try:
+            outcome = structural_join(dept_data.ancestors,
+                                      dept_data.descendants,
+                                      algorithm="test-plugin")
+            expected = oracle_join(dept_data.ancestors,
+                                   dept_data.descendants)
+            assert sort_pairs(outcome.pairs) == expected
+            assert outcome.algorithm == "test-plugin"
+        finally:
+            unregister_algorithm("test-plugin")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.joins.registry import register_algorithm
+        from repro.joins.stack_tree import stack_tree_join
+
+        with pytest.raises(ValueError):
+            register_algorithm("xr-stack", stack_tree_join, "element-list")
+
+    def test_bad_input_kind_rejected(self):
+        from repro.joins.registry import register_algorithm
+
+        with pytest.raises(ValueError):
+            register_algorithm("bogus", lambda *a, **k: None, "hash-table")
