@@ -1,0 +1,87 @@
+"""Cost of crash safety: journaled + checksummed FileDisk vs raw writes.
+
+Every committed page now carries a CRC-32 and travels through the
+write-ahead journal twice (journal record, then apply), so durability is
+not free.  This bench bounds the overhead on a realistic lifecycle — bulk
+load a generated document, then rounds of incremental inserts and repeated
+path queries with a flush per round — by running the identical workload on
+
+* **journaled** — ``FileDisk(durability="journal")``, the default: atomic
+  commit groups, superblock, recovery-on-open;
+* **baseline**  — ``FileDisk(durability="none")``: in-place writes, no
+  journal (the pre-crash-safety behaviour, kept for comparison).
+
+Asserts the acceptance criteria: the journaled run stays within 2.5x the
+baseline's physical page writes and 2x its wall time, and both runs return
+identical query results.  Note the journal coalesces rewrites of the same
+page within a commit interval, which claws back much of the 2x write
+amplification on update-heavy rounds.
+"""
+
+import time
+
+from repro.core.database import XmlDatabase
+from repro.storage.disk import FileDisk
+from repro.workloads import department_dataset
+
+ELEMENTS = 8000
+ROUNDS = 8
+PATHS = ("//email", "//department/employee")
+INCREMENT = ("<project><task><title>t%d</title></task>"
+             "<task><title>u%d</title></task></project>")
+
+
+def run_workload(path, durability, document):
+    """One full lifecycle on a fresh file; returns (wall, checksum, disk)."""
+    disk = FileDisk(path, page_size=2048, durability=durability)
+    db = XmlDatabase.create(disk=disk, page_size=2048, buffer_pages=128)
+    started = time.perf_counter()
+    db.add_document(document, name="base")
+    db.flush()
+    checksum = 0
+    for round_no in range(ROUNDS):
+        db.add_document(INCREMENT % (round_no, round_no),
+                        name="inc-%d" % round_no)
+        for query in PATHS:
+            checksum += len(db.query(query))
+        db.flush()
+    db.close()
+    return time.perf_counter() - started, checksum, disk
+
+
+def test_durability_overhead_bounded(benchmark, tmp_path):
+    document = department_dataset(ELEMENTS, seed=7).document
+
+    def compare():
+        journaled_wall, journaled_sum, journaled_disk = run_workload(
+            str(tmp_path / "journaled.db"), "journal", document)
+        baseline_wall, baseline_sum, baseline_disk = run_workload(
+            str(tmp_path / "baseline.db"), "none", document)
+        return (journaled_wall, journaled_sum,
+                journaled_disk.durability_stats,
+                baseline_wall, baseline_sum, baseline_disk.durability_stats)
+
+    (journaled_wall, journaled_sum, journaled,
+     baseline_wall, baseline_sum, baseline) = benchmark.pedantic(
+        compare, rounds=1, iterations=1)
+
+    write_ratio = journaled.physical_page_writes \
+        / max(1, baseline.physical_page_writes)
+    wall_ratio = journaled_wall / baseline_wall
+    print("\n=== Durability overhead: %d elements, %d rounds ==="
+          % (ELEMENTS, ROUNDS))
+    print("journaled  %.3fs  physical=%-6d (journal=%d applied=%d "
+          "superblock=%d) commits=%d"
+          % (journaled_wall, journaled.physical_page_writes,
+             journaled.journal_pages, journaled.applied_pages,
+             journaled.superblock_writes, journaled.commits))
+    print("baseline   %.3fs  physical=%-6d (direct=%d superblock=%d)"
+          % (baseline_wall, baseline.physical_page_writes,
+             baseline.direct_pages, baseline.superblock_writes))
+    print("ratios     writes %.2fx  wall %.2fx" % (write_ratio, wall_ratio))
+
+    assert journaled_sum == baseline_sum
+    assert write_ratio <= 2.5, \
+        "journaling write amplification %.2fx exceeds 2.5x" % write_ratio
+    assert wall_ratio <= 2.0, \
+        "journaling wall overhead %.2fx exceeds 2x" % wall_ratio

@@ -50,8 +50,12 @@ class StorageContext:
 
     def __init__(self, page_size=DEFAULT_PAGE_SIZE,
                  buffer_pages=DEFAULT_POOL_PAGES, path=None,
-                 time_model=None):
-        if path is None:
+                 time_model=None, disk=None):
+        if disk is not None:
+            # An externally built disk (e.g. a FaultInjectingDisk wrapper,
+            # or a FileDisk with a non-default durability mode).
+            self.disk = disk
+        elif path is None:
             self.disk = InMemoryDisk(page_size)
         else:
             self.disk = FileDisk(path, page_size)
@@ -105,6 +109,16 @@ class StorageContext:
             return self.indexes.stats
         return IndexManagerStats()
 
+    @property
+    def recovery_stats(self):
+        """What recovery-on-open did for a file-backed disk (else None).
+
+        A :class:`~repro.storage.disk.RecoveryStats` for a ``FileDisk``
+        (``clean`` is True when no journal replay or discard was needed);
+        None for in-memory disks, which have nothing to recover.
+        """
+        return getattr(self.disk, "recovery_stats", None)
+
     def derived_seconds(self, elements_scanned=0):
         """Model-based elapsed time for the I/O performed so far."""
         return self.time_model.elapsed_seconds(
@@ -114,13 +128,14 @@ class StorageContext:
 
     def close(self):
         """Flush the attached index manager and the pool, then close a
-        file-backed disk.  Idempotent."""
+        file-backed disk (committing its final journal group).  Idempotent."""
         if self.indexes is not None:
             self.indexes.close()
-        if isinstance(self.disk, FileDisk):
-            if not self.disk.closed:
+        close = getattr(self.disk, "close", None)
+        if close is not None:
+            if not getattr(self.disk, "closed", False):
                 self.pool.flush_all()
-            self.disk.close()
+            close()
 
     def __enter__(self):
         return self

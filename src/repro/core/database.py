@@ -63,24 +63,39 @@ class XmlDatabase:
 
     @classmethod
     def create(cls, path=None, page_size=4096, buffer_pages=256,
-               handle_budget=DEFAULT_HANDLE_BUDGET):
-        """Create a fresh database (in memory when ``path`` is None)."""
-        context = StorageContext(page_size, buffer_pages, path=path)
+               handle_budget=DEFAULT_HANDLE_BUDGET, disk=None):
+        """Create a fresh database (in memory when ``path`` is None).
+
+        Pass ``disk`` to supply a pre-built disk — e.g. a
+        :class:`~repro.storage.faults.FaultInjectingDisk` wrapper or a
+        ``FileDisk`` with ``durability="none"``.
+        """
+        context = StorageContext(page_size, buffer_pages, path=path,
+                                 disk=disk)
         catalog = Catalog.create(context.pool)
         database = cls(context, catalog, handle_budget)
         database._save_registry()
         return database
 
     @classmethod
-    def open(cls, path, page_size=4096, buffer_pages=256,
-             handle_budget=DEFAULT_HANDLE_BUDGET):
-        """Reopen an existing database file."""
-        context = StorageContext(page_size, buffer_pages, path=path)
+    def open(cls, path=None, page_size=4096, buffer_pages=256,
+             handle_budget=DEFAULT_HANDLE_BUDGET, disk=None):
+        """Reopen an existing database file (recovery runs on open)."""
+        if path is None and disk is None:
+            raise XmlDatabaseError("open() needs a path or a disk")
+        context = StorageContext(page_size, buffer_pages, path=path,
+                                 disk=disk)
         catalog = Catalog.open(context.pool)
         return cls(context, catalog, handle_budget)
 
     def flush(self):
-        """Write back dirty index metadata, then every dirty page."""
+        """Write back dirty index metadata, then every dirty page.
+
+        The order matters for crash consistency: catalog metadata is
+        staged first so the commit group ``pool.flush_all()`` triggers
+        (via ``disk.sync()``) captures trees and their catalog entries
+        together.
+        """
         self._indexes.flush()
         self._context.pool.flush_all()
 
@@ -92,6 +107,15 @@ class XmlDatabase:
     def index_stats(self):
         """Handle-cache counters (hits, misses, loads, evictions, ...)."""
         return self._indexes.stats
+
+    @property
+    def recovery_stats(self):
+        """What crash recovery did when this database was opened.
+
+        ``None`` for in-memory databases; a
+        :class:`~repro.storage.disk.RecoveryStats` for file-backed ones.
+        """
+        return self._context.recovery_stats
 
     def __enter__(self):
         return self

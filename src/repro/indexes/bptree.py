@@ -14,9 +14,14 @@ library assigns disjoint region ranges to different documents.
 import struct
 from bisect import bisect_left, bisect_right
 
-from repro.storage.errors import StorageError
+from repro.storage.errors import PageDecodeError, StorageError
 from repro.storage.pagedlist import RecordPage
-from repro.storage.pages import ElementEntry, Page, register_page_type
+from repro.storage.pages import (
+    PAGE_HEADER_SIZE,
+    ElementEntry,
+    Page,
+    register_page_type,
+)
 
 
 class BPlusTreeError(StorageError):
@@ -61,7 +66,8 @@ class BPlusInternalPage(Page):
     @classmethod
     def capacity(cls, page_size):
         """Maximum number of keys per internal page."""
-        return (page_size - 1 - cls._HEADER.size - cls._CHILD.size) // cls._PAIR.size
+        return (page_size - PAGE_HEADER_SIZE - cls._HEADER.size
+                - cls._CHILD.size) // cls._PAIR.size
 
     def encode_payload(self):
         parts = [self._HEADER.pack(len(self.keys))]
@@ -73,6 +79,14 @@ class BPlusInternalPage(Page):
     @classmethod
     def decode_payload(cls, data, page_size):
         (count,) = cls._HEADER.unpack_from(data, 0)
+        if cls._HEADER.size + cls._CHILD.size + count * cls._PAIR.size \
+                > len(data):
+            raise PageDecodeError(
+                "B+-tree internal page claims %d keys but the payload "
+                "holds at most %d"
+                % (count, (len(data) - cls._HEADER.size - cls._CHILD.size)
+                   // cls._PAIR.size)
+            )
         offset = cls._HEADER.size
         (first_child,) = cls._CHILD.unpack_from(data, offset)
         offset += cls._CHILD.size

@@ -20,9 +20,14 @@ import struct
 from dataclasses import dataclass
 
 from repro.joins.base import JoinSink, JoinStats
-from repro.storage.errors import StorageError
+from repro.storage.errors import PageDecodeError, StorageError
 from repro.storage.pagedlist import RecordPage
-from repro.storage.pages import ElementEntry, Page, register_page_type
+from repro.storage.pages import (
+    PAGE_HEADER_SIZE,
+    ElementEntry,
+    Page,
+    register_page_type,
+)
 
 
 class RTreeError(StorageError):
@@ -100,7 +105,8 @@ class RTreeInternalPage(Page):
 
     @classmethod
     def capacity(cls, page_size):
-        return (page_size - 1 - cls._HEADER.size) // cls._ENTRY.size
+        return (page_size - PAGE_HEADER_SIZE - cls._HEADER.size) \
+            // cls._ENTRY.size
 
     def encode_payload(self):
         parts = [self._HEADER.pack(len(self.children))]
@@ -112,6 +118,12 @@ class RTreeInternalPage(Page):
     @classmethod
     def decode_payload(cls, data, page_size):
         (count,) = cls._HEADER.unpack_from(data, 0)
+        if cls._HEADER.size + count * cls._ENTRY.size > len(data):
+            raise PageDecodeError(
+                "R-tree internal page claims %d children but the payload "
+                "holds at most %d"
+                % (count, (len(data) - cls._HEADER.size) // cls._ENTRY.size)
+            )
         offset = cls._HEADER.size
         rects, children = [], []
         for _ in range(count):

@@ -22,8 +22,14 @@ I/O bound and is cheaper to maintain.  DESIGN.md records this substitution.)
 
 import struct
 
+from repro.storage.errors import PageDecodeError
 from repro.storage.pagedlist import RecordPage
-from repro.storage.pages import ElementEntry, Page, register_page_type
+from repro.storage.pages import (
+    PAGE_HEADER_SIZE,
+    ElementEntry,
+    Page,
+    register_page_type,
+)
 
 #: Encoded nil for (ps, pe) fields.
 NIL = 0
@@ -76,7 +82,8 @@ class StabDirectoryPage(Page):
 
     @classmethod
     def capacity(cls, page_size):
-        return (page_size - 1 - cls._HEADER.size) // cls._ENTRY.size
+        return (page_size - PAGE_HEADER_SIZE - cls._HEADER.size) \
+            // cls._ENTRY.size
 
     def encode_payload(self):
         parts = [self._HEADER.pack(len(self.entries))]
@@ -86,6 +93,12 @@ class StabDirectoryPage(Page):
     @classmethod
     def decode_payload(cls, data, page_size):
         (count,) = cls._HEADER.unpack_from(data, 0)
+        if cls._HEADER.size + count * cls._ENTRY.size > len(data):
+            raise PageDecodeError(
+                "stab directory page claims %d entries but the payload "
+                "holds at most %d"
+                % (count, (len(data) - cls._HEADER.size) // cls._ENTRY.size)
+            )
         offset = cls._HEADER.size
         entries = []
         for _ in range(count):
@@ -120,7 +133,8 @@ class XRInternalPage(Page):
     @classmethod
     def capacity(cls, page_size):
         """Maximum keys per node: ``B_I`` in Section 3.3."""
-        avail = page_size - 1 - cls._HEADER.size - 4  # 4 = first child pointer
+        # 4 = first child pointer
+        avail = page_size - PAGE_HEADER_SIZE - cls._HEADER.size - 4
         return avail // cls._ENTRY.size
 
     def encode_payload(self):
@@ -142,6 +156,12 @@ class XRInternalPage(Page):
         count, first_child, sl_head, sl_dir, sl_count = cls._HEADER.unpack_from(
             data, 0
         )
+        if cls._HEADER.size + count * cls._ENTRY.size > len(data):
+            raise PageDecodeError(
+                "XR-tree internal page claims %d keys but the payload "
+                "holds at most %d"
+                % (count, (len(data) - cls._HEADER.size) // cls._ENTRY.size)
+            )
         offset = cls._HEADER.size
         keys, ps, pe = [], [], []
         children = [first_child]

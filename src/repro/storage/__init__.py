@@ -10,26 +10,40 @@ full hit/miss accounting.
 """
 
 from repro.storage.buffer import BufferPool, BufferStats
-from repro.storage.disk import FileDisk, InMemoryDisk, IOStats, SimulatedDisk
+from repro.storage.disk import (
+    DurabilityStats,
+    FileDisk,
+    InMemoryDisk,
+    IOStats,
+    RecoveryStats,
+    SimulatedDisk,
+)
 from repro.storage.errors import (
     BufferPoolError,
+    ChecksumError,
     PageDecodeError,
     PageFullError,
     PageNotFoundError,
+    RecoveryError,
     StorageError,
 )
+from repro.storage.faults import CrashPoint, FaultInjectingDisk
 from repro.storage.indexmanager import (
     IndexManager,
     IndexManagerError,
     IndexManagerStats,
 )
+from repro.storage.journal import Journal
 from repro.storage.pages import (
     DEFAULT_PAGE_SIZE,
+    PAGE_HEADER_SIZE,
     ElementEntry,
     Page,
     RawPage,
+    page_checksum,
     page_codec,
     register_page_type,
+    seal_image,
 )
 from repro.storage.timemodel import DiskTimeModel
 
@@ -37,22 +51,32 @@ __all__ = [
     "BufferPool",
     "BufferStats",
     "BufferPoolError",
+    "ChecksumError",
+    "CrashPoint",
     "DEFAULT_PAGE_SIZE",
     "DiskTimeModel",
+    "DurabilityStats",
     "ElementEntry",
+    "FaultInjectingDisk",
     "FileDisk",
     "IndexManager",
     "IndexManagerError",
     "IndexManagerStats",
     "InMemoryDisk",
     "IOStats",
+    "Journal",
+    "PAGE_HEADER_SIZE",
     "Page",
     "PageDecodeError",
     "PageFullError",
     "PageNotFoundError",
     "RawPage",
+    "RecoveryError",
+    "RecoveryStats",
     "SimulatedDisk",
     "StorageError",
+    "page_checksum",
     "page_codec",
     "register_page_type",
+    "seal_image",
 ]

@@ -12,7 +12,7 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
 
-from repro.storage.errors import BufferPoolError
+from repro.storage.errors import BufferPoolError, ChecksumError
 from repro.storage.pages import Page
 
 DEFAULT_POOL_PAGES = 100  # the paper's fixed buffer pool size
@@ -163,7 +163,13 @@ class BufferPool:
     # -- page access ----------------------------------------------------------
 
     def fetch(self, page_id):
-        """Pin and return the page with ``page_id``, reading it if absent."""
+        """Pin and return the page with ``page_id``, reading it if absent.
+
+        Every miss decodes through :meth:`Page.decode`, which verifies the
+        page checksum first — a torn write or flipped bit surfaces here as
+        :class:`~repro.storage.errors.ChecksumError` (tagged with the page
+        id) instead of silently decoding garbage.
+        """
         page = self._frames.get(page_id)
         if page is not None:
             self.stats.hits += 1
@@ -172,7 +178,11 @@ class BufferPool:
             self.stats.misses += 1
             self._make_room()
             data = self.disk.read(page_id)
-            page = Page.decode(data, self.disk.page_size)
+            try:
+                page = Page.decode(data, self.disk.page_size)
+            except ChecksumError as exc:
+                raise ChecksumError("page %d: %s" % (page_id, exc),
+                                    page_id=page_id) from exc
             page.page_id = page_id
             self._frames[page_id] = page
             self._policy.admitted(page_id)
@@ -227,10 +237,18 @@ class BufferPool:
     # -- maintenance ------------------------------------------------------------
 
     def flush_all(self):
-        """Write back every dirty frame (pages stay cached)."""
+        """Write back every dirty frame (pages stay cached).
+
+        On a journaling disk this is also a commit point: the written-back
+        pages are staged into the write-ahead journal and ``sync()`` makes
+        them durable as one atomic group.
+        """
         for page in self._frames.values():
             if page.dirty:
                 self._writeback(page)
+        sync = getattr(self.disk, "sync", None)
+        if sync is not None:
+            sync()
 
     def clear(self):
         """Flush and drop every frame; fails if any page is still pinned."""

@@ -17,8 +17,8 @@ Usage::
 
 import struct
 
-from repro.storage.errors import StorageError
-from repro.storage.pages import Page, register_page_type
+from repro.storage.errors import PageDecodeError, RecoveryError, StorageError
+from repro.storage.pages import PAGE_HEADER_SIZE, Page, register_page_type
 
 KIND_BPLUS = 1
 KIND_XRTREE = 2
@@ -50,7 +50,8 @@ class CatalogPage(Page):
 
     @classmethod
     def capacity(cls, page_size):
-        return (page_size - 1 - cls._HEADER.size) // cls._ENTRY.size
+        return (page_size - PAGE_HEADER_SIZE - cls._HEADER.size) \
+            // cls._ENTRY.size
 
     def encode_payload(self):
         parts = [self._HEADER.pack(len(self.entries), self.next_id)]
@@ -68,6 +69,12 @@ class CatalogPage(Page):
     @classmethod
     def decode_payload(cls, data, page_size):
         count, next_id = cls._HEADER.unpack_from(data, 0)
+        if cls._HEADER.size + count * cls._ENTRY.size > len(data):
+            raise PageDecodeError(
+                "catalog page claims %d entries but the payload holds at "
+                "most %d" % (count,
+                             (len(data) - cls._HEADER.size) // cls._ENTRY.size)
+            )
         offset = cls._HEADER.size
         entries = []
         for _ in range(count):
@@ -96,7 +103,7 @@ class BlobPage(Page):
 
     @classmethod
     def capacity(cls, page_size):
-        return page_size - 1 - cls._HEADER.size
+        return page_size - PAGE_HEADER_SIZE - cls._HEADER.size
 
     def encode_payload(self):
         return self._HEADER.pack(len(self.data), self.next_id) + self.data
@@ -105,6 +112,11 @@ class BlobPage(Page):
     def decode_payload(cls, data, page_size):
         length, next_id = cls._HEADER.unpack_from(data, 0)
         start = cls._HEADER.size
+        if start + length > len(data):
+            raise PageDecodeError(
+                "blob page claims %d bytes but only %d are present"
+                % (length, len(data) - start)
+            )
         return cls(data[start : start + length], next_id)
 
 
@@ -125,10 +137,21 @@ class Catalog:
 
     @classmethod
     def open(cls, pool, page_id=1):
-        """Attach to an existing catalog (default: the first disk page)."""
-        with pool.pinned(page_id) as page:
-            if not isinstance(page, CatalogPage):
-                raise CatalogError("page %d is not a catalog page" % page_id)
+        """Attach to an existing catalog (default: the first disk page).
+
+        Raises :class:`~repro.storage.errors.RecoveryError` when the
+        catalog root cannot be decoded — the database file survived the
+        crash, but its naming root did not, which recovery cannot repair.
+        """
+        try:
+            with pool.pinned(page_id) as page:
+                if not isinstance(page, CatalogPage):
+                    raise CatalogError(
+                        "page %d is not a catalog page" % page_id)
+        except PageDecodeError as exc:
+            raise RecoveryError(
+                "catalog root page %d is unreadable: %s" % (page_id, exc)
+            ) from exc
         return cls(pool, page_id)
 
     # -- raw entry access ------------------------------------------------------

@@ -6,8 +6,10 @@ Two implementations are provided behind a common abstract interface:
   benchmarks.  I/O counters still tick, so page-miss accounting is identical
   to the file-backed variant.
 * :class:`FileDisk` — pages live in a real file on the local filesystem,
-  written with ``os.pwrite``-style positioned I/O.  Used by the examples that
-  demonstrate persistence.
+  written with ``os.pwrite``-style positioned I/O, fronted by a superblock
+  and a write-ahead journal (:mod:`repro.storage.journal`) so that every
+  ``sync()`` is an atomic multi-page commit and a crash at any instant
+  either replays or discards a whole commit group on reopen.
 
 The paper's testbed performed direct disk I/O on Windows XP; the relevant
 observable for the evaluation is the *number* of physical page transfers,
@@ -15,9 +17,12 @@ which both implementations count exactly.
 """
 
 import os
+import struct
+import zlib
 from dataclasses import dataclass, field
 
-from repro.storage.errors import PageNotFoundError, StorageError
+from repro.storage.errors import PageNotFoundError, RecoveryError, StorageError
+from repro.storage.journal import Journal
 
 DEFAULT_PAGE_SIZE = 4096
 
@@ -117,6 +122,32 @@ class SimulatedDisk:
         """Number of currently live (allocated, un-freed) pages."""
         return self._next_page_id - 1 - len(self._freed)
 
+    # -- test hooks ----------------------------------------------------------
+
+    def peek(self, page_id):
+        """Raw bytes of a page, bypassing the I/O counters (test hook).
+
+        For a :class:`FileDisk` this reads the *persisted* image, ignoring
+        any writes staged since the last ``sync()`` — what a crashed
+        process's successor would see.
+        """
+        self._check_exists(page_id)
+        return self._peek(page_id)
+
+    def poke(self, page_id, data):
+        """Overwrite a page's raw bytes, bypassing counters and journaling
+        (test hook: simulates media corruption happening under the engine).
+        """
+        self._check_exists(page_id)
+        if len(data) > self.page_size:
+            raise StorageError(
+                "poke payload of %d bytes exceeds page size %d"
+                % (len(data), self.page_size)
+            )
+        if len(data) < self.page_size:
+            data = bytes(data) + b"\x00" * (self.page_size - len(data))
+        self._poke(page_id, bytes(data))
+
     # -- hooks for concrete disks -------------------------------------------
 
     def _on_allocate(self, page_id):
@@ -133,6 +164,12 @@ class SimulatedDisk:
 
     def _check_exists(self, page_id):
         raise NotImplementedError
+
+    def _peek(self, page_id):
+        return self._read(page_id)
+
+    def _poke(self, page_id, data):
+        self._write(page_id, data)
 
 
 class InMemoryDisk(SimulatedDisk):
@@ -159,33 +196,125 @@ class InMemoryDisk(SimulatedDisk):
             raise PageNotFoundError(page_id)
 
 
-class FileDisk(SimulatedDisk):
-    """Disk whose pages live in a single file.
+@dataclass
+class RecoveryStats:
+    """What recovery-on-open found and did (``FileDisk.recovery_stats``)."""
 
-    The file grows as pages are allocated; freed pages are tracked in memory
-    and recycled.  This class demonstrates that every structure in the library
-    round-trips through real bytes, not just Python objects.
+    replayed_groups: int = 0
+    replayed_pages: int = 0
+    discarded_groups: int = 0
+    free_pages_recovered: int = 0
+    leaked_pages: int = 0
+
+    @property
+    def clean(self):
+        """True when the file needed no journal replay or discard."""
+        return not (self.replayed_groups or self.discarded_groups)
+
+
+@dataclass
+class DurabilityStats:
+    """Physical write accounting behind the logical ``IOStats`` counters."""
+
+    commits: int = 0
+    journal_pages: int = 0   # page images written to the journal file
+    applied_pages: int = 0   # page images applied to the data file
+    direct_pages: int = 0    # in-place writes (durability="none" only)
+    superblock_writes: int = 0
+
+    @property
+    def physical_page_writes(self):
+        """Total page-sized writes that reached the operating system."""
+        return (self.journal_pages + self.applied_pages
+                + self.direct_pages + self.superblock_writes)
+
+
+#: On-disk superblock layout: magic, version, crc, page size, commit
+#: sequence, next page id, free-list length, leaked-page count; the free
+#: list (u32 page ids) follows.  The crc is a CRC-32 of the whole
+#: superblock image with the crc field zeroed, as for regular pages.
+_SUPERBLOCK = struct.Struct("<4sHIIQQII")
+_SUPERBLOCK_MAGIC = b"XRSB"
+_SUPERBLOCK_VERSION = 1
+_SB_CRC_OFFSET = 6  # after magic (4s) + version (H)
+_FREE_ID = struct.Struct("<I")
+
+
+class FileDisk(SimulatedDisk):
+    """Disk whose pages live in a single file, with crash-safe commits.
+
+    The file starts with a superblock (at offset 0; page ``n`` lives at
+    offset ``n * page_size``) recording the allocation frontier and the
+    free list, so freed pages survive a close and are recycled across
+    sessions.  With ``durability="journal"`` (the default) writes are
+    *staged* in memory and made durable only by :meth:`sync`, which
+    commits every staged page plus the new superblock as one atomic group
+    through a write-ahead journal (``<path>.journal``): journal + fsync,
+    apply + fsync, clear.  Reopening the file replays a committed group
+    the crash left unapplied, or discards a torn one, and reports what it
+    did in :attr:`recovery_stats`.
+
+    ``durability="none"`` is the unjournaled baseline: writes go in place
+    immediately and only the superblock is maintained — a crash can tear
+    pages (detected later by page checksums, but not repaired).
     """
 
-    def __init__(self, path, page_size=DEFAULT_PAGE_SIZE):
+    def __init__(self, path, page_size=DEFAULT_PAGE_SIZE,
+                 durability="journal"):
+        if durability not in ("journal", "none"):
+            raise StorageError("unknown durability mode %r" % durability)
         super().__init__(page_size)
         self._path = path
+        self.journaled = durability == "journal"
+        self.recovery_stats = RecoveryStats()
+        self.durability_stats = DurabilityStats()
+        #: Physical-write interception hook installed by
+        #: :class:`~repro.storage.faults.FaultInjectingDisk` (or None).
+        self.fault_hook = None
         self._fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
-        # Reopening an existing file: every page in it is live again (the
-        # free list does not survive a close; freed pages are simply not
-        # recycled across sessions).
-        existing = os.fstat(self._fd).st_size // page_size
-        self._live = set(range(1, existing + 1))
-        self._next_page_id = existing + 1
+        self._pending = {}       # page_id -> staged image (journal mode)
+        self._meta_dirty = False
+        self._commit_seq = 0
+        self._live = set()
+        self._journal = (Journal(path + ".journal", page_size,
+                                 fault_filter=self._filter_physical)
+                         if self.journaled else None)
+        if os.fstat(self._fd).st_size == 0:
+            self._write_superblock_direct()
+        else:
+            self._recover()
+
+    @property
+    def path(self):
+        return self._path
 
     @property
     def closed(self):
         return self._fd is None
 
     def close(self):
+        """Commit staged writes and release file descriptors (idempotent)."""
+        if self._fd is not None:
+            self.sync()
+            os.close(self._fd)
+            self._fd = None
+        if self._journal is not None:
+            self._journal.close()
+
+    def abort(self):
+        """Drop staged writes and close *without* committing.
+
+        Simulates the process image vanishing: whatever the last ``sync``
+        made durable is all a successor will see.  Used by the
+        fault-injection harness after a :class:`CrashPoint`.
+        """
+        self._pending.clear()
+        self._meta_dirty = False
         if self._fd is not None:
             os.close(self._fd)
             self._fd = None
+        if self._journal is not None:
+            self._journal.close()
 
     def __enter__(self):
         return self
@@ -193,20 +322,219 @@ class FileDisk(SimulatedDisk):
     def __exit__(self, exc_type, exc, tb):
         self.close()
 
+    # -- commit protocol -----------------------------------------------------
+
+    def sync(self):
+        """Make every write since the last sync durable; returns pages
+        committed.
+
+        In journal mode this is the atomic commit point: staged pages and
+        the new superblock are journaled, fsynced, applied and fsynced, so
+        a crash anywhere leaves either the previous or the new state.  In
+        ``durability="none"`` mode only the superblock is rewritten.
+        """
+        if self._fd is None:
+            raise StorageError("sync on a closed disk")
+        if not self.journaled:
+            if self._meta_dirty:
+                self._write_superblock_direct()
+            return 0
+        if not self._pending and not self._meta_dirty:
+            return 0
+        self._commit_seq += 1
+        records = dict(self._pending)
+        records[0] = self._superblock_image()
+        self._journal.commit(self._commit_seq, records)
+        self._apply(records)
+        self._journal.clear()
+        self.durability_stats.commits += 1
+        self.durability_stats.journal_pages = self._journal.pages_journaled
+        self._pending.clear()
+        self._meta_dirty = False
+        return len(records)
+
+    def _apply(self, records):
+        for page_id in sorted(records):
+            image = records[page_id]
+            image, crash = self._filter_physical("apply", page_id, image)
+            os.pwrite(self._fd, image, page_id * self.page_size)
+            self.durability_stats.applied_pages += 1
+            if crash:
+                self._crash()
+        os.fsync(self._fd)
+
+    def _filter_physical(self, kind, page_id, data):
+        if self.fault_hook is None:
+            return data, False
+        return self.fault_hook(kind, page_id, data)
+
+    def _crash(self):
+        from repro.storage.faults import CrashPoint
+
+        raise CrashPoint("killed during a physical page write")
+
+    # -- superblock ----------------------------------------------------------
+
+    def _superblock_image(self):
+        capacity = (self.page_size - _SUPERBLOCK.size) // _FREE_ID.size
+        persisted = self._freed[:capacity]
+        leaked = len(self._freed) - len(persisted)
+        if leaked:
+            self.recovery_stats.leaked_pages += leaked
+            self._freed = list(persisted)
+        image = bytearray(self.page_size)
+        _SUPERBLOCK.pack_into(
+            image, 0, _SUPERBLOCK_MAGIC, _SUPERBLOCK_VERSION, 0,
+            self.page_size, self._commit_seq, self._next_page_id,
+            len(persisted), leaked,
+        )
+        offset = _SUPERBLOCK.size
+        for page_id in persisted:
+            _FREE_ID.pack_into(image, offset, page_id)
+            offset += _FREE_ID.size
+        crc = zlib.crc32(bytes(image)) & 0xFFFFFFFF
+        struct.pack_into("<I", image, _SB_CRC_OFFSET, crc)
+        return bytes(image)
+
+    def _write_superblock_direct(self):
+        image = self._superblock_image()
+        image, crash = self._filter_physical("superblock", 0, image)
+        os.pwrite(self._fd, image, 0)
+        os.fsync(self._fd)
+        self.durability_stats.superblock_writes += 1
+        self._meta_dirty = False
+        if crash:
+            self._crash()
+
+    def _load_superblock(self):
+        raw = os.pread(self._fd, self.page_size, 0)
+        if len(raw) < _SUPERBLOCK.size:
+            raise RecoveryError(
+                "%s has no superblock (file is %d bytes; expected a "
+                "%d-byte page at offset 0)" % (self._path, len(raw),
+                                               self.page_size)
+            )
+        image = bytearray(raw.ljust(self.page_size, b"\x00"))
+        (magic, version, stored_crc, page_size, seq, next_id,
+         free_count, leaked) = _SUPERBLOCK.unpack_from(image, 0)
+        if magic != _SUPERBLOCK_MAGIC:
+            raise RecoveryError("%s has no superblock magic" % self._path)
+        if version != _SUPERBLOCK_VERSION:
+            raise RecoveryError("superblock version %d unsupported" % version)
+        struct.pack_into("<I", image, _SB_CRC_OFFSET, 0)
+        if zlib.crc32(bytes(image)) & 0xFFFFFFFF != stored_crc:
+            raise RecoveryError("superblock checksum mismatch in %s"
+                                % self._path)
+        if page_size != self.page_size:
+            raise StorageError(
+                "%s was created with page size %d, opened with %d"
+                % (self._path, page_size, self.page_size)
+            )
+        freed = []
+        offset = _SUPERBLOCK.size
+        for _ in range(free_count):
+            freed.append(_FREE_ID.unpack_from(image, offset)[0])
+            offset += _FREE_ID.size
+        self._commit_seq = seq
+        self._next_page_id = next_id
+        self._freed = freed
+        self._live = set(range(1, next_id)) - set(freed)
+        self.recovery_stats.free_pages_recovered = len(freed)
+        self.recovery_stats.leaked_pages += leaked
+
+    # -- recovery-on-open ----------------------------------------------------
+
+    def _recover(self):
+        if self._journal is not None:
+            group = self._journal.read_group()
+            if group is not None:
+                sequence, records = group
+                known = self._peek_superblock_sequence()
+                if known is None or sequence >= known:
+                    for page_id in sorted(records):
+                        os.pwrite(self._fd, records[page_id],
+                                  page_id * self.page_size)
+                    os.fsync(self._fd)
+                    self.recovery_stats.replayed_groups += 1
+                    self.recovery_stats.replayed_pages += len(records)
+                else:
+                    self.recovery_stats.discarded_groups += 1
+                self._journal.clear()
+            elif self._journal.pending_bytes > 0:
+                # Torn or corrupt group: never committed, discard it.
+                self.recovery_stats.discarded_groups += 1
+                self._journal.clear()
+        self._load_superblock()
+
+    def _peek_superblock_sequence(self):
+        """The committed superblock's sequence number, or None if unreadable."""
+        try:
+            raw = os.pread(self._fd, self.page_size, 0)
+            if len(raw) < _SUPERBLOCK.size:
+                return None
+            image = bytearray(raw.ljust(self.page_size, b"\x00"))
+            (magic, version, stored_crc, _ps, seq, _next, _fc, _lk) = \
+                _SUPERBLOCK.unpack_from(image, 0)
+            if magic != _SUPERBLOCK_MAGIC:
+                return None
+            struct.pack_into("<I", image, _SB_CRC_OFFSET, 0)
+            if zlib.crc32(bytes(image)) & 0xFFFFFFFF != stored_crc:
+                return None
+            return seq
+        except OSError:
+            return None
+
+    # -- physical page I/O ---------------------------------------------------
+
     def _offset(self, page_id):
-        return (page_id - 1) * self.page_size
+        return page_id * self.page_size
 
     def _on_allocate(self, page_id):
         self._live.add(page_id)
-        os.pwrite(self._fd, bytes(self.page_size), self._offset(page_id))
+        self._meta_dirty = True
+        if self.journaled:
+            self._pending[page_id] = bytes(self.page_size)
+        else:
+            os.pwrite(self._fd, bytes(self.page_size), self._offset(page_id))
+            self.durability_stats.direct_pages += 1
 
     def _on_free(self, page_id):
         self._live.discard(page_id)
+        self._pending.pop(page_id, None)
+        self._meta_dirty = True
 
     def _read(self, page_id):
-        return os.pread(self._fd, self.page_size, self._offset(page_id))
+        staged = self._pending.get(page_id)
+        if staged is not None:
+            return staged
+        data = os.pread(self._fd, self.page_size, self._offset(page_id))
+        if len(data) < self.page_size:
+            data += b"\x00" * (self.page_size - len(data))
+        return data
 
     def _write(self, page_id, data):
+        if self.journaled:
+            # Staging is an in-memory operation: no physical write happens
+            # until sync(), so the fault hook is not consulted here (the
+            # wrapper intercepts logical writes itself).
+            self._pending[page_id] = data
+        else:
+            data, crash = self._filter_physical("direct", page_id, data)
+            os.pwrite(self._fd, data, self._offset(page_id))
+            self.durability_stats.direct_pages += 1
+            if crash:
+                self._crash()
+
+    def _peek(self, page_id):
+        """The persisted image, ignoring staged writes (test hook)."""
+        data = os.pread(self._fd, self.page_size, self._offset(page_id))
+        if len(data) < self.page_size:
+            data += b"\x00" * (self.page_size - len(data))
+        return data
+
+    def _poke(self, page_id, data):
+        """Corrupt the persisted image directly, bypassing the journal."""
+        self._pending.pop(page_id, None)
         os.pwrite(self._fd, data, self._offset(page_id))
 
     def _check_exists(self, page_id):

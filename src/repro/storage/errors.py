@@ -21,5 +21,23 @@ class PageDecodeError(StorageError):
     """On-disk bytes could not be decoded into a typed page object."""
 
 
+class ChecksumError(PageDecodeError):
+    """A page image failed CRC-32 verification (torn write or bit rot).
+
+    Subclasses :class:`PageDecodeError` because a checksum mismatch means
+    the bytes cannot be trusted to decode into anything; callers that
+    handle decode failures handle corruption the same way.
+    """
+
+    def __init__(self, message, page_id=None):
+        super().__init__(message)
+        self.page_id = page_id
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not restore a consistent on-disk state
+    (missing or corrupt superblock, undecodable catalog root, ...)."""
+
+
 class BufferPoolError(StorageError):
     """Buffer-pool protocol violation (e.g. evicting a pinned page)."""

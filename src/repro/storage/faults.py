@@ -1,0 +1,157 @@
+"""Fault injection for the storage substrate: crashes, torn writes, bit rot.
+
+:class:`FaultInjectingDisk` wraps any :class:`~repro.storage.disk.\
+SimulatedDisk` and exposes the same page interface while letting tests
+
+* **kill a run** at the N-th logical read / write / allocate, or — when a
+  :class:`~repro.storage.disk.FileDisk` is wrapped — at the N-th *physical*
+  page write (journal records, applies, superblock writes, in-place
+  writes), which is where crash atomicity is actually decided;
+* **tear the fatal write**: persist only a prefix of the page image before
+  the kill, modelling a sector-level partial write;
+* **flip bits** in persisted pages through the unaccounted ``peek``/``poke``
+  hooks, modelling silent media corruption.
+
+A kill raises :class:`CrashPoint` and leaves the wrapper *dead*: every
+subsequent operation raises again, so ``finally`` blocks and context
+managers cannot accidentally commit state on behalf of a process that is
+supposed to have vanished.  ``CrashPoint`` deliberately does **not**
+subclass :class:`~repro.storage.errors.StorageError` — error-collecting
+code (e.g. ``IndexManager.flush``) must never swallow a simulated kill.
+"""
+
+from repro.storage.disk import FileDisk
+
+#: Operation names accepted as kill points.
+LOGICAL_OPS = ("read", "write", "allocate")
+PHYSICAL_OP = "physical-write"
+
+
+class CrashPoint(Exception):
+    """A simulated process kill injected by :class:`FaultInjectingDisk`."""
+
+
+class FaultInjectingDisk:
+    """A transparent disk wrapper that can die on cue.
+
+    ``kill_after`` is the 1-based ordinal of the fatal operation of kind
+    ``kill_op`` (one of ``"read"``, ``"write"``, ``"allocate"``,
+    ``"physical-write"``); None never kills — the wrapper then just counts,
+    which is how a sweep measures how many crash points a workload has.
+    ``torn_bytes`` tears the fatal physical write: only that many bytes of
+    the page image are persisted before the crash.
+    """
+
+    def __init__(self, inner, kill_after=None, kill_op=PHYSICAL_OP,
+                 torn_bytes=None):
+        if kill_op not in LOGICAL_OPS + (PHYSICAL_OP,):
+            raise ValueError("unknown kill op %r" % kill_op)
+        self.inner = inner
+        self.kill_after = kill_after
+        self.kill_op = kill_op
+        self.torn_bytes = torn_bytes
+        self.dead = False
+        self.op_counts = {op: 0 for op in LOGICAL_OPS + (PHYSICAL_OP,)}
+        if isinstance(inner, FileDisk):
+            inner.fault_hook = self._on_physical_write
+
+    # -- fault machinery -----------------------------------------------------
+
+    def _tick(self, op):
+        if self.dead:
+            raise CrashPoint("operation on a crashed disk")
+        self.op_counts[op] += 1
+        if (self.kill_after is not None and self.kill_op == op
+                and self.op_counts[op] >= self.kill_after):
+            self.dead = True
+            raise CrashPoint(
+                "killed at %s #%d" % (op, self.op_counts[op])
+            )
+
+    def _on_physical_write(self, kind, page_id, data):
+        """FileDisk hook: called before every physical page write.
+
+        Returns ``(data, crash)``; the disk persists ``data`` (possibly a
+        torn prefix) and raises :class:`CrashPoint` when ``crash`` is True.
+        """
+        if self.dead:
+            raise CrashPoint("physical write on a crashed disk")
+        self.op_counts[PHYSICAL_OP] += 1
+        if (self.kill_after is not None and self.kill_op == PHYSICAL_OP
+                and self.op_counts[PHYSICAL_OP] >= self.kill_after):
+            self.dead = True
+            if self.torn_bytes is not None:
+                data = bytes(data)[: self.torn_bytes]
+            return data, True
+        return data, False
+
+    def crash_now(self):
+        """Mark the disk dead immediately (without an operation trigger)."""
+        self.dead = True
+
+    def abort(self):
+        """Release the wrapped disk's file descriptors without committing."""
+        if hasattr(self.inner, "abort"):
+            self.inner.abort()
+
+    # -- corruption hooks ----------------------------------------------------
+
+    def flip_bit(self, page_id, bit):
+        """Flip one bit of a persisted page image (silent media corruption)."""
+        raw = bytearray(self.inner.peek(page_id))
+        raw[(bit // 8) % len(raw)] ^= 1 << (bit % 8)
+        self.inner.poke(page_id, bytes(raw))
+
+    def peek(self, page_id):
+        return self.inner.peek(page_id)
+
+    def poke(self, page_id, data):
+        self.inner.poke(page_id, data)
+
+    # -- the SimulatedDisk interface -----------------------------------------
+
+    @property
+    def page_size(self):
+        return self.inner.page_size
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    @property
+    def allocated_page_count(self):
+        return self.inner.allocated_page_count
+
+    def allocate(self):
+        self._tick("allocate")
+        return self.inner.allocate()
+
+    def free(self, page_id):
+        if self.dead:
+            raise CrashPoint("operation on a crashed disk")
+        return self.inner.free(page_id)
+
+    def read(self, page_id):
+        self._tick("read")
+        return self.inner.read(page_id)
+
+    def write(self, page_id, data):
+        self._tick("write")
+        return self.inner.write(page_id, data)
+
+    def sync(self):
+        if self.dead:
+            raise CrashPoint("operation on a crashed disk")
+        return self.inner.sync()
+
+    def close(self):
+        """Close the wrapped disk — without committing if it crashed."""
+        if self.dead:
+            self.abort()
+        elif hasattr(self.inner, "close"):
+            self.inner.close()
+
+    def __getattr__(self, name):
+        # Everything else (sync, close, closed, recovery_stats, ...)
+        # passes straight through to the wrapped disk.
+        return getattr(self.inner, name)

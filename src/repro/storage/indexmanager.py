@@ -267,6 +267,13 @@ class IndexManager:
         Flushes one handle when ``name`` is given, every dirty handle
         otherwise.  Handles stay resident.  Returns the number of
         write-backs performed.
+
+        A write-back that fails does not abandon the rest: every dirty
+        handle is attempted, failed ones stay dirty, and one
+        :class:`IndexManagerError` naming each unflushed handle is raised
+        at the end (chained to the first underlying failure).  Only
+        :class:`~repro.storage.errors.StorageError` is collected this way —
+        anything else (e.g. an injected crash) propagates immediately.
         """
         self._check_open()
         if name is not None:
@@ -274,10 +281,23 @@ class IndexManager:
         else:
             handles = list(self._handles.values())
         written = 0
+        failures = []
         for handle in handles:
             if handle.dirty:
-                self._writeback(handle)
-                written += 1
+                try:
+                    self._writeback(handle)
+                except StorageError as exc:
+                    failures.append((handle.name, exc))
+                else:
+                    written += 1
+        if failures:
+            names = ", ".join(repr(n) for n, _ in failures)
+            error = IndexManagerError(
+                "flush failed for %d handle(s) — still dirty: %s (first "
+                "cause: %s)" % (len(failures), names, failures[0][1])
+            )
+            error.failed = [n for n, _ in failures]
+            raise error from failures[0][1]
         return written
 
     def discard(self, name):

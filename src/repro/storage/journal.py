@@ -1,0 +1,153 @@
+"""Write-ahead journal giving :class:`FileDisk` atomic multi-page commits.
+
+The journal is a side file (``<data file>.journal``) holding at most one
+*commit group* at a time.  A group is the full set of page images (plus the
+new superblock, recorded as page id 0) that one ``sync()`` wants to make
+durable together:
+
+```
+group header   "XRJL" magic, sequence number, page count
+page records   page id (u64) + raw page image (page_size bytes), repeated
+group footer   "XRJC" magic, CRC-32 over header + records
+```
+
+Commit protocol (:meth:`Journal.commit` / :meth:`FileDisk.sync`):
+
+1. write the whole group to the journal file, fsync it;
+2. apply every record to the data file at its page offset, fsync it;
+3. truncate the journal to zero (:meth:`Journal.clear`).
+
+A crash at any point leaves one of three states, all recoverable:
+
+* journal empty or torn (crash during step 1) — the group never became
+  durable; recovery discards it and the data file still holds the previous
+  commit;
+* journal complete, data file partially applied (crash during step 2) —
+  recovery replays the whole group; applying page images is idempotent;
+* journal complete and applied but not yet cleared (crash during step 3) —
+  recovery replays harmlessly and clears.
+
+Validity of a group is established by length and CRC alone, so a torn
+journal write can never masquerade as a committed group.
+"""
+
+import os
+import struct
+import zlib
+
+_GROUP_MAGIC = b"XRJL"
+_COMMIT_MAGIC = b"XRJC"
+_HEADER = struct.Struct("<4sQI")   # magic, commit sequence, page count
+_RECORD = struct.Struct("<Q")      # page id (0 = superblock)
+_FOOTER = struct.Struct("<4sI")    # commit magic, CRC-32 of header+records
+
+
+class Journal:
+    """One commit group of page images, made durable before being applied.
+
+    ``fault_filter`` is the physical-write interception hook wired up by
+    :class:`~repro.storage.faults.FaultInjectingDisk`: it sees every record
+    written to the journal file and may tear it or kill the process.
+    """
+
+    def __init__(self, path, page_size, fault_filter=None):
+        self.path = path
+        self.page_size = page_size
+        self._filter = fault_filter
+        self._fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+        #: Counters for the durability benchmark.
+        self.commits = 0
+        self.pages_journaled = 0
+
+    @property
+    def closed(self):
+        return self._fd is None
+
+    @property
+    def pending_bytes(self):
+        """Bytes currently sitting in the journal file."""
+        return os.fstat(self._fd).st_size
+
+    def close(self):
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    # -- writing ---------------------------------------------------------------
+
+    def commit(self, sequence, records):
+        """Make ``records`` (page id -> image) durable as one group.
+
+        Writes the group and fsyncs the journal file; the caller applies the
+        records to the data file afterwards and then calls :meth:`clear`.
+        """
+        body = bytearray()
+        body += _HEADER.pack(_GROUP_MAGIC, sequence, len(records))
+        crash = False
+        for page_id in sorted(records):
+            image = bytes(records[page_id])
+            if len(image) < self.page_size:
+                image += bytes(self.page_size - len(image))
+            if self._filter is not None:
+                image, crash = self._filter("journal", page_id, image)
+            body += _RECORD.pack(page_id)
+            body += image
+            self.pages_journaled += 1
+            if crash:
+                break
+        if not crash:
+            body += _FOOTER.pack(_COMMIT_MAGIC,
+                                 zlib.crc32(bytes(body)) & 0xFFFFFFFF)
+        os.pwrite(self._fd, bytes(body), 0)
+        os.ftruncate(self._fd, len(body))
+        os.fsync(self._fd)
+        self.commits += 1
+        if crash:
+            from repro.storage.faults import CrashPoint
+
+            raise CrashPoint("killed while journaling a commit group")
+
+    def clear(self):
+        """Empty the journal after its group has been applied."""
+        os.ftruncate(self._fd, 0)
+        os.fsync(self._fd)
+
+    # -- reading ---------------------------------------------------------------
+
+    def read_group(self):
+        """The pending commit group, or None.
+
+        Returns ``(sequence, {page_id: image})`` when the journal holds a
+        complete, checksum-valid group; None when it is empty, torn or
+        corrupt (the caller discards it either way).
+        """
+        size = os.fstat(self._fd).st_size
+        if size < _HEADER.size + _FOOTER.size:
+            return None
+        blob = os.pread(self._fd, size, 0)
+        magic, sequence, count = _HEADER.unpack_from(blob, 0)
+        if magic != _GROUP_MAGIC:
+            return None
+        record_size = _RECORD.size + self.page_size
+        body_size = _HEADER.size + count * record_size
+        if size < body_size + _FOOTER.size:
+            return None
+        commit_magic, stored_crc = _FOOTER.unpack_from(blob, body_size)
+        if commit_magic != _COMMIT_MAGIC:
+            return None
+        if zlib.crc32(blob[:body_size]) & 0xFFFFFFFF != stored_crc:
+            return None
+        records = {}
+        offset = _HEADER.size
+        for _ in range(count):
+            (page_id,) = _RECORD.unpack_from(blob, offset)
+            offset += _RECORD.size
+            records[page_id] = blob[offset : offset + self.page_size]
+            offset += self.page_size
+        return sequence, records
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()

@@ -13,7 +13,13 @@ the next page in the chain).
 
 import struct
 
-from repro.storage.pages import ElementEntry, Page, register_page_type
+from repro.storage.errors import PageDecodeError
+from repro.storage.pages import (
+    PAGE_HEADER_SIZE,
+    ElementEntry,
+    Page,
+    register_page_type,
+)
 
 
 class RecordPage(Page):
@@ -33,7 +39,8 @@ class RecordPage(Page):
     @classmethod
     def capacity(cls, page_size):
         """Maximum number of records a page of ``page_size`` bytes holds."""
-        return (page_size - 1 - cls._HEADER.size) // cls.RECORD_SIZE
+        return (page_size - PAGE_HEADER_SIZE - cls._HEADER.size) \
+            // cls.RECORD_SIZE
 
     def encode_payload(self):
         parts = [self._HEADER.pack(len(self.records), self.next_id)]
@@ -43,6 +50,12 @@ class RecordPage(Page):
     @classmethod
     def decode_payload(cls, data, page_size):
         count, next_id = cls._HEADER.unpack_from(data, 0)
+        if cls._HEADER.size + count * cls.RECORD_SIZE > len(data):
+            raise PageDecodeError(
+                "%s claims %d records but the payload holds at most %d"
+                % (cls.__name__, count,
+                   (len(data) - cls._HEADER.size) // cls.RECORD_SIZE)
+            )
         offset = cls._HEADER.size
         records = []
         for _ in range(count):

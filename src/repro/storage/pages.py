@@ -1,17 +1,49 @@
 """Typed on-disk pages and their byte codecs.
 
-Every page starts with a one-byte type tag used to dispatch decoding to the
-registered page class.  Concrete page classes (B+-tree nodes, XR-tree nodes,
-stab list pages, element list pages, ...) live next to the structures that own
-them and register themselves with :func:`register_page_type`.
+Every page image starts with a fixed header: a one-byte type tag used to
+dispatch decoding to the registered page class, followed by a CRC-32 of the
+whole page image (computed with the checksum field zeroed).  Concrete page
+classes (B+-tree nodes, XR-tree nodes, stab list pages, element list pages,
+...) live next to the structures that own them and register themselves with
+:func:`register_page_type`.
+
+:meth:`Page.encode` seals the checksum; :meth:`Page.decode` verifies it and
+raises :class:`~repro.storage.errors.ChecksumError` on mismatch, so every
+buffer-pool fetch detects torn writes and bit rot before any payload byte is
+interpreted.
 """
 
 import struct
+import zlib
 from dataclasses import dataclass, field
 
-from repro.storage.errors import PageDecodeError
+from repro.storage.errors import ChecksumError, PageDecodeError
 
 DEFAULT_PAGE_SIZE = 4096
+
+_CHECKSUM = struct.Struct("<I")
+
+#: Bytes every page image reserves before the payload: type tag + CRC-32.
+PAGE_HEADER_SIZE = 1 + _CHECKSUM.size
+
+
+def page_checksum(image):
+    """CRC-32 of a full page image, with the checksum field zeroed."""
+    buf = bytearray(image)
+    _CHECKSUM.pack_into(buf, 1, 0)
+    return zlib.crc32(bytes(buf)) & 0xFFFFFFFF
+
+
+def seal_image(image):
+    """Recompute and embed the checksum of a raw page image.
+
+    Used by tests and tools that hand-craft page bytes and want them to
+    pass verification (e.g. to corrupt a *payload* field surgically).
+    """
+    buf = bytearray(image)
+    _CHECKSUM.pack_into(buf, 1, 0)
+    _CHECKSUM.pack_into(buf, 1, zlib.crc32(bytes(buf)) & 0xFFFFFFFF)
+    return bytes(buf)
 
 #: Registry mapping the page-type byte to the page class.
 _PAGE_TYPES = {}
@@ -60,22 +92,54 @@ class Page:
     # -- codec ---------------------------------------------------------------
 
     def encode(self, page_size):
+        """Serialize to a full checksummed page image of ``page_size`` bytes."""
         payload = self.encode_payload()
-        if len(payload) + 1 > page_size:
+        if len(payload) + PAGE_HEADER_SIZE > page_size:
             raise PageDecodeError(
                 "%s payload of %d bytes exceeds page size %d"
                 % (type(self).__name__, len(payload), page_size)
             )
-        return bytes([self.TYPE_ID]) + payload
+        image = bytearray(page_size)
+        image[0] = self.TYPE_ID
+        image[PAGE_HEADER_SIZE : PAGE_HEADER_SIZE + len(payload)] = payload
+        return seal_image(image)
 
     @classmethod
-    def decode(cls, data, page_size):
-        """Decode raw disk bytes into the registered page object."""
+    def decode(cls, data, page_size, verify=True):
+        """Decode raw disk bytes into the registered page object.
+
+        Verifies the page checksum first (raising
+        :class:`~repro.storage.errors.ChecksumError` on mismatch) unless
+        ``verify`` is False, then dispatches on the type tag.  Any raw
+        ``struct``/index error a payload decoder leaks is normalized to
+        :class:`~repro.storage.errors.PageDecodeError`.
+        """
         if not data:
             raise PageDecodeError("empty page image")
-        page_cls = page_codec(data[0])
-        page = page_cls.decode_payload(data[1:], page_size)
-        return page
+        image = bytes(data[:page_size])
+        if len(image) < PAGE_HEADER_SIZE:
+            raise PageDecodeError(
+                "page image of %d bytes is shorter than the %d-byte header"
+                % (len(image), PAGE_HEADER_SIZE)
+            )
+        if verify:
+            (stored,) = _CHECKSUM.unpack_from(image, 1)
+            computed = page_checksum(image)
+            if stored != computed:
+                raise ChecksumError(
+                    "page image failed CRC-32 verification "
+                    "(stored 0x%08x, computed 0x%08x)" % (stored, computed)
+                )
+        page_cls = page_codec(image[0])
+        try:
+            return page_cls.decode_payload(image[PAGE_HEADER_SIZE:], page_size)
+        except PageDecodeError:
+            raise
+        except (struct.error, IndexError, ValueError) as exc:
+            raise PageDecodeError(
+                "%s payload could not be decoded: %s"
+                % (page_cls.__name__, exc)
+            ) from exc
 
     def encode_payload(self):
         raise NotImplementedError
@@ -102,6 +166,11 @@ class RawPage(Page):
     @classmethod
     def decode_payload(cls, data, page_size):
         (length,) = cls._HEADER.unpack_from(data, 0)
+        if cls._HEADER.size + length > len(data):
+            raise PageDecodeError(
+                "RawPage claims %d payload bytes but only %d are present"
+                % (length, len(data) - cls._HEADER.size)
+            )
         return cls(data[cls._HEADER.size : cls._HEADER.size + length])
 
 

@@ -111,6 +111,39 @@ class TestStats:
         assert disk.stats.allocations == 0
 
 
+class TestPeekPoke:
+    def test_peek_and_poke_bypass_the_counters(self, disk):
+        page_id = disk.allocate()
+        disk.write(page_id, b"payload")
+        before = disk.stats.snapshot()
+        assert disk.peek(page_id).startswith(b"payload")
+        disk.poke(page_id, b"corrupted")
+        delta = disk.stats.delta(before)
+        assert (delta.reads, delta.writes) == (0, 0)
+        assert disk.read(page_id).startswith(b"corrupted")
+
+    def test_poke_pads_and_validates_size(self, disk):
+        page_id = disk.allocate()
+        disk.poke(page_id, b"x")
+        assert len(disk.peek(page_id)) == disk.page_size
+        with pytest.raises(StorageError):
+            disk.poke(page_id, b"y" * (disk.page_size + 1))
+
+    def test_peek_unknown_page_raises(self, disk):
+        with pytest.raises(PageNotFoundError):
+            disk.peek(999)
+
+    def test_file_disk_peek_sees_persisted_not_staged(self, tmp_path):
+        with FileDisk(str(tmp_path / "p.bin"), page_size=128) as disk:
+            page_id = disk.allocate()
+            disk.write(page_id, b"committed")
+            disk.sync()
+            disk.write(page_id, b"staged only")
+            # read() sees the staged image, peek() the durable one.
+            assert disk.read(page_id).startswith(b"staged only")
+            assert disk.peek(page_id).startswith(b"committed")
+
+
 class TestPageSizeValidation:
     def test_tiny_page_size_rejected(self):
         with pytest.raises(StorageError):
@@ -127,7 +160,8 @@ class TestFileDisk:
             disk.write(b, b"second page")
             assert disk.read(a).startswith(b"first page")
             assert disk.read(b).startswith(b"second page")
-        assert os.path.getsize(path) == 512
+        # Superblock page at offset 0 plus two data pages.
+        assert os.path.getsize(path) == 3 * 256
 
     def test_free_then_reuse(self, tmp_path):
         with FileDisk(str(tmp_path / "d.bin"), page_size=128) as disk:
@@ -149,5 +183,7 @@ class TestFileDisk:
             disk.write(first, b"@1")
         with open(path, "rb") as handle:
             raw = handle.read()
-        assert raw[0:2] == b"@1"
-        assert raw[128:130] == b"@2"
+        # Page ids map to offsets directly; page 0 is the superblock.
+        assert raw[0:4] == b"XRSB"
+        assert raw[128:130] == b"@1"
+        assert raw[256:258] == b"@2"

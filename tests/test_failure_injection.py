@@ -6,7 +6,12 @@ from repro.indexes.bptree import BPlusTree
 from repro.indexes.xrtree import XRTree, check_xrtree
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import InMemoryDisk
-from repro.storage.errors import BufferPoolError, PageDecodeError
+from repro.storage.errors import (
+    BufferPoolError,
+    ChecksumError,
+    PageDecodeError,
+)
+from repro.storage.pages import PAGE_HEADER_SIZE, seal_image
 from tests.conftest import entry
 
 
@@ -18,13 +23,27 @@ class TestCorruptPages:
         tree.bulk_load([entry(k, k + 100) for k in range(1, 50)])
         pool.flush_all()
         pool.clear()
-        # Smash the root page's type byte on disk.
-        raw = bytearray(disk.read(tree.root_id))
-        disk.stats.reads -= 1
+        # Smash the root page's type byte on disk; re-seal the checksum so
+        # the unknown-type rejection (not the CRC) is what fires.
+        raw = bytearray(disk.peek(tree.root_id))
         raw[0] = 250
-        disk.write(tree.root_id, bytes(raw))
+        disk.poke(tree.root_id, seal_image(raw))
         with pytest.raises(PageDecodeError):
             tree.search(10)
+
+    def test_corrupt_type_byte_fails_checksum_without_reseal(self):
+        disk = InMemoryDisk(512)
+        pool = BufferPool(disk, capacity=4)
+        tree = BPlusTree(pool)
+        tree.bulk_load([entry(k, k + 100) for k in range(1, 50)])
+        pool.flush_all()
+        pool.clear()
+        raw = bytearray(disk.peek(tree.root_id))
+        raw[0] = 250
+        disk.poke(tree.root_id, bytes(raw))  # stale CRC
+        with pytest.raises(ChecksumError) as excinfo:
+            tree.search(10)
+        assert excinfo.value.page_id == tree.root_id
 
     def test_truncated_page_payload_detected(self):
         disk = InMemoryDisk(512)
@@ -34,13 +53,13 @@ class TestCorruptPages:
             tree.insert(entry(k, k + 1000))
         pool.flush_all()
         pool.clear()
-        # A record count larger than the page's actual payload.
-        raw = bytearray(disk.read(tree.root_id))
-        disk.stats.reads -= 1
-        raw[1] = 0xFF
-        raw[2] = 0xFF
-        disk.write(tree.root_id, bytes(raw))
-        with pytest.raises(Exception):
+        # A record count larger than the page's actual payload, sealed so
+        # the CRC is valid and the decoder's bounds guard is exercised.
+        raw = bytearray(disk.peek(tree.root_id))
+        raw[PAGE_HEADER_SIZE] = 0xFF
+        raw[PAGE_HEADER_SIZE + 1] = 0xFF
+        disk.poke(tree.root_id, seal_image(raw))
+        with pytest.raises(PageDecodeError):
             list(tree.items())
 
 

@@ -157,6 +157,55 @@ class TestLifecycle:
             IndexManager(catalog, pool=pool, capacity=0)
 
 
+class TestFlushFailures:
+    def test_flush_attempts_all_and_names_failures(self, manager, catalog):
+        from repro.storage.errors import StorageError
+
+        seeded_tree(manager, "ok-1")
+        seeded_tree(manager, "bad")
+        seeded_tree(manager, "ok-2")
+        real_save = catalog.save_xrtree
+
+        def failing_save(name, tree):
+            if name == "bad":
+                raise StorageError("injected save failure")
+            real_save(name, tree)
+
+        catalog.save_xrtree = failing_save
+        with pytest.raises(IndexManagerError) as excinfo:
+            manager.flush()
+        # Every other handle was still written back...
+        assert "ok-1" in catalog.names()
+        assert "ok-2" in catalog.names()
+        assert not manager.is_dirty("ok-1")
+        assert not manager.is_dirty("ok-2")
+        # ...the failed one stays dirty and is named in the error.
+        assert manager.is_dirty("bad")
+        assert excinfo.value.failed == ["bad"]
+        assert "'bad'" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, StorageError)
+        # Once the fault clears, a retry drains the remaining handle.
+        catalog.save_xrtree = real_save
+        assert manager.flush() == 1
+        assert "bad" in catalog.names()
+
+    def test_flush_propagates_non_storage_errors_immediately(
+            self, manager, catalog):
+        from repro.storage.faults import CrashPoint
+
+        seeded_tree(manager, "a")
+        seeded_tree(manager, "b")
+
+        def crashing_save(name, tree):
+            raise CrashPoint("simulated kill")
+
+        catalog.save_xrtree = crashing_save
+        with pytest.raises(CrashPoint):
+            manager.flush()
+        # The crash was not swallowed into an IndexManagerError.
+        assert manager.is_dirty("a") or manager.is_dirty("b")
+
+
 class TestContextManagers:
     def test_storage_context_with_statement(self, tmp_path):
         path = str(tmp_path / "ctx.pages")

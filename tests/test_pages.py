@@ -2,8 +2,15 @@
 
 import pytest
 
-from repro.storage.errors import PageDecodeError
-from repro.storage.pages import ElementEntry, Page, RawPage, page_codec
+from repro.storage.errors import ChecksumError, PageDecodeError
+from repro.storage.pages import (
+    PAGE_HEADER_SIZE,
+    ElementEntry,
+    Page,
+    RawPage,
+    page_codec,
+    seal_image,
+)
 from tests.conftest import entry
 
 
@@ -37,6 +44,41 @@ class TestRawPageCodec:
 
     def test_codec_registry_lookup(self):
         assert page_codec(RawPage.TYPE_ID) is RawPage
+
+
+class TestChecksums:
+    def test_encode_seals_a_valid_checksum(self):
+        image = RawPage(b"abc").encode(64)
+        assert len(image) == 64
+        assert image == seal_image(image)
+
+    def test_any_flipped_bit_is_detected(self):
+        image = RawPage(b"checksummed payload").encode(64)
+        for byte_index in (0, 3, PAGE_HEADER_SIZE, 40, 63):
+            corrupt = bytearray(image)
+            corrupt[byte_index] ^= 0x10
+            with pytest.raises(ChecksumError):
+                Page.decode(bytes(corrupt), 64)
+
+    def test_reseal_makes_an_edited_image_decodable(self):
+        image = bytearray(RawPage(b"abc").encode(64))
+        # First payload byte sits after the page header and RawPage's own
+        # 4-byte length field.
+        image[PAGE_HEADER_SIZE + 4] = ord("z")
+        with pytest.raises(ChecksumError):
+            Page.decode(bytes(image), 64)
+        assert Page.decode(seal_image(image), 64).payload == b"zbc"
+
+    def test_verification_can_be_skipped(self):
+        image = bytearray(RawPage(b"abc").encode(64))
+        image[-1] ^= 0xFF
+        decoded = Page.decode(bytes(image), 64, verify=False)
+        assert decoded.payload.startswith(b"abc")
+
+    def test_truncated_image_rejected(self):
+        image = RawPage(b"abc").encode(64)
+        with pytest.raises(PageDecodeError):
+            Page.decode(image[:PAGE_HEADER_SIZE - 1], 64)
 
 
 class TestElementEntryCodec:
