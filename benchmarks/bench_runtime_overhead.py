@@ -1,0 +1,97 @@
+"""Bound the cost of *idle* runtime guardrails on the join microbenchmarks.
+
+Attaching a :class:`~repro.query.runtime.QueryContext` with no limits set
+("guardrails on but idle") must cost at most ``OVERHEAD_CEILING`` (1.10x)
+versus running the same join bare.  Every join loop calls
+``stats.checkpoint()`` once per iteration in both arms; the idle arm
+additionally pays one ``QueryContext.tick()`` — a few None checks — so the
+measured ratio is exactly the price of arming the guardrails.
+
+Inputs are prebuilt once per algorithm so the measured window is the join
+loop itself, not index construction; both arms are timed interleaved,
+best-of-``ROUNDS``, to cancel machine drift.
+"""
+
+import time
+
+import pytest
+
+from repro.core.api import (
+    StorageContext,
+    build_bplus_tree,
+    build_element_list,
+    build_xr_tree,
+    structural_join,
+)
+from repro.query.runtime import QueryContext
+from repro.workloads.datasets import department_dataset
+
+OVERHEAD_CEILING = 1.10
+ROUNDS = 7
+ELEMENTS = 4000
+#: Absolute slack for timer granularity on very fast joins.
+EPSILON_SECONDS = 5e-4
+
+_BUILDERS = {
+    "xr-stack": build_xr_tree,
+    "b+": build_bplus_tree,
+    "stack-tree": build_element_list,
+}
+
+
+def _prebuilt(data, algorithm):
+    context = StorageContext()
+    build = _BUILDERS[algorithm]
+    ancestors = build(data.ancestors, context.pool)
+    descendants = build(data.descendants, context.pool)
+    return context, ancestors, descendants
+
+
+def _run_once(context, ancestors, descendants, algorithm, runtime):
+    started = time.perf_counter()
+    outcome = structural_join(ancestors, descendants, algorithm=algorithm,
+                              context=context, collect=False,
+                              runtime=runtime)
+    elapsed = time.perf_counter() - started
+    return elapsed, outcome
+
+
+@pytest.mark.parametrize("algorithm", sorted(_BUILDERS))
+def test_idle_guardrails_within_overhead_ceiling(algorithm):
+    data = department_dataset(ELEMENTS, seed=7)
+    context, ancestors, descendants = _prebuilt(data, algorithm)
+    bare = idle = float("inf")
+    pairs_bare = pairs_idle = None
+    for _ in range(ROUNDS):
+        elapsed, outcome = _run_once(context, ancestors, descendants,
+                                     algorithm, None)
+        bare = min(bare, elapsed)
+        pairs_bare = outcome.pair_count
+        elapsed, outcome = _run_once(context, ancestors, descendants,
+                                     algorithm, QueryContext())
+        idle = min(idle, elapsed)
+        pairs_idle = outcome.pair_count
+    assert pairs_bare == pairs_idle and pairs_bare > 0
+    assert idle <= bare * OVERHEAD_CEILING + EPSILON_SECONDS, (
+        "%s: idle guardrails cost %.4fs vs %.4fs bare (%.2fx > %.2fx)"
+        % (algorithm, idle, bare, idle / bare, OVERHEAD_CEILING)
+    )
+
+
+def test_armed_guardrails_still_reasonable():
+    """Sanity (not a hard bound): a fully armed context — deadline, token,
+    page budget and row cap all set but none tripping — stays within 2x of
+    bare on the xr-stack workload."""
+    data = department_dataset(ELEMENTS, seed=7)
+    context, ancestors, descendants = _prebuilt(data, "xr-stack")
+    bare = armed = float("inf")
+    for _ in range(ROUNDS):
+        elapsed, _ = _run_once(context, ancestors, descendants,
+                               "xr-stack", None)
+        bare = min(bare, elapsed)
+        runtime = QueryContext(deadline=60.0, page_budget=10 ** 9,
+                               row_cap=10 ** 9)
+        elapsed, _ = _run_once(context, ancestors, descendants,
+                               "xr-stack", runtime)
+        armed = min(armed, elapsed)
+    assert armed <= bare * 2.0 + EPSILON_SECONDS

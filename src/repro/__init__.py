@@ -26,14 +26,18 @@ from repro.core import (
     XRTreeIndex,
     structural_join,
 )
+from repro.query import AdmissionController, CancellationToken, QueryContext
 from repro.storage.pages import ElementEntry
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "AdmissionController",
+    "CancellationToken",
     "ElementEntry",
     "JoinOutcome",
+    "QueryContext",
     "StorageContext",
     "XmlDatabase",
     "XRTreeIndex",

@@ -298,7 +298,7 @@ def _resolve_join_input(side, value, input_kind, pool, fill_factor):
 
 def structural_join(ancestors, descendants, algorithm="xr-stack",
                     parent_child=False, context=None, collect=True,
-                    fill_factor=1.0):
+                    fill_factor=1.0, runtime=None):
     """Run one structural join end to end and measure it.
 
     ``ancestors`` and ``descendants`` are either start-sorted element-entry
@@ -313,6 +313,11 @@ def structural_join(ancestors, descendants, algorithm="xr-stack",
     Statistics are cleared before the join so it is measured cold —
     matching the paper's per-run measurements — and a :class:`JoinOutcome`
     is returned.
+
+    ``runtime`` is an optional :class:`~repro.query.runtime.QueryContext`;
+    when given, the join honours its deadline, cancellation token, page
+    budget and row cap (raising the corresponding
+    :class:`~repro.query.runtime.QueryRuntimeError` subclass).
     """
     spec = get_algorithm(algorithm)
     if context is None:
@@ -339,9 +344,13 @@ def structural_join(ancestors, descendants, algorithm="xr-stack",
     pool.clear()  # start the measured join with a cold buffer pool
     build_misses = pool.stats.misses
     context.reset_stats()
+    stats = JoinStats()
+    if runtime is not None:
+        runtime.start(pool)
+        stats.runtime = runtime
     started = time.perf_counter()
     pairs, stats = spec.runner(a_input, d_input, parent_child=parent_child,
-                               collect=collect)
+                               collect=collect, stats=stats)
     wall = time.perf_counter() - started
     return JoinOutcome(
         algorithm=algorithm,

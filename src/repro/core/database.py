@@ -37,6 +37,7 @@ from repro.query.engine import PathQueryEngine
 from repro.storage.catalog import Catalog
 from repro.storage.indexmanager import DEFAULT_HANDLE_BUDGET, IndexManager
 from repro.storage.pages import ElementEntry
+from repro.storage.scrub import IndexQuarantinedError, IntegrityScrubber
 from repro.xmldata.parser import parse_document
 
 _REGISTRY = "__documents__"
@@ -58,6 +59,8 @@ class XmlDatabase:
         )
         self._registry = self._load_registry()
         self._engine = None
+        self._scrubber = None
+        self._admission = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -105,7 +108,13 @@ class XmlDatabase:
 
     @property
     def index_stats(self):
-        """Handle-cache counters (hits, misses, loads, evictions, ...)."""
+        """Handle-cache counters (hits, misses, loads, evictions, ...).
+
+        Also carries the buffer pool's ``max_pinned`` high-water mark —
+        the most frames any operation held pinned at once, the floor a
+        per-query page quota must clear to be satisfiable.
+        """
+        self._indexes.stats.max_pinned = self._context.pool.stats.max_pinned
         return self._indexes.stats
 
     @property
@@ -231,9 +240,33 @@ class XmlDatabase:
             )
         return self._engine
 
-    def query(self, path):
-        """Evaluate a path/twig expression over the stored indexes."""
-        return self._ensure_engine().evaluate(path)
+    def query(self, path, runtime=None):
+        """Evaluate a path/twig expression over the stored indexes.
+
+        ``runtime`` is an optional
+        :class:`~repro.query.runtime.QueryContext` imposing a deadline,
+        cancellation token, page budget and/or row cap on the evaluation.
+        When an :class:`~repro.query.admission.AdmissionController` is
+        attached (:meth:`attach_admission`), the query first claims an
+        execution slot — and may be rejected outright under load — and
+        inherits the controller's per-query limits unless ``runtime`` is
+        given explicitly.
+        """
+        if self._admission is None:
+            return self._ensure_engine().evaluate(path, runtime=runtime)
+        with self._admission.slot() as slot_runtime:
+            if runtime is None:
+                runtime = slot_runtime
+            return self._ensure_engine().evaluate(path, runtime=runtime)
+
+    def attach_admission(self, controller):
+        """Route queries through an admission controller; returns it."""
+        self._admission = controller
+        return controller
+
+    @property
+    def admission(self):
+        return self._admission
 
     def explain(self, path):
         """The query engine's plan description for ``path``."""
@@ -254,6 +287,39 @@ class XmlDatabase:
                 verified += 1
         return verified
 
+    # -- integrity scrubbing -------------------------------------------------------
+
+    @property
+    def scrubber(self):
+        """The database's online integrity scrubber (created lazily)."""
+        if self._scrubber is None:
+            self._scrubber = IntegrityScrubber(
+                self._catalog, self._context.pool, manager=self._indexes
+            )
+        return self._scrubber
+
+    def scrub(self, io_budget=None):
+        """Run one budgeted scrub step; returns its ``ScrubReport``.
+
+        Structures found corrupt are quarantined: queries touching them
+        raise :class:`~repro.storage.scrub.IndexQuarantinedError` until
+        they are rebuilt (:meth:`rebuild_index`).
+        """
+        report = self.scrubber.step(io_budget=io_budget)
+        for name in report.quarantined:
+            if name.startswith("tag:"):
+                self._invalidate_tag(name[len("tag:"):])
+        return report
+
+    def rebuild_index(self, tag):
+        """Rebuild ``tag``'s XR-tree from its surviving leaf records.
+
+        Clears the quarantine on success; returns a ``RebuildResult``.
+        """
+        result = self.scrubber.rebuild(_tree_name(tag))
+        self._invalidate_tag(tag)
+        return result
+
     def find_ancestors(self, tag, point):
         """All stored ``tag`` elements containing the corpus position."""
         tree = self._tree_for(tag)
@@ -268,8 +334,16 @@ class XmlDatabase:
     # -- internals ------------------------------------------------------------------------
 
     def _tree_for(self, tag, create=False):
-        """The live XR-tree handle for ``tag`` (cached by the manager)."""
+        """The live XR-tree handle for ``tag`` (cached by the manager).
+
+        Fails fast with :class:`~repro.storage.scrub.\
+        IndexQuarantinedError` when the scrubber has quarantined the tag's
+        tree — before any join starts, instead of mid-join on a checksum.
+        """
         name = _tree_name(tag)
+        if self._scrubber is not None and self._scrubber.is_quarantined(name):
+            raise IndexQuarantinedError(
+                name, self._scrubber.quarantined[name])
         if create:
             return self._indexes.get_or_create_xrtree(name)
         return self._indexes.get_xrtree(name)

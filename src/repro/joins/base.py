@@ -12,13 +12,26 @@ class JoinStats:
     total number of element entries examined, including index probes and stab
     list scans.  ``pairs`` counts output tuples.  The object doubles as the
     scan counter handed to index operations (it exposes ``count``).
+
+    ``runtime`` optionally attaches a :class:`~repro.query.runtime.\
+    QueryContext`: every join algorithm calls :meth:`checkpoint` once per
+    hot-loop iteration at a *pin-free* point, which is where deadlines,
+    cancellation and page quotas fire.  ``count`` itself never raises — it
+    runs inside index operations while pages are pinned, where an
+    exception would leak buffer-pool pins.
     """
 
     elements_scanned: int = 0
     pairs: int = 0
+    runtime: object = None
 
     def count(self, n=1):
         self.elements_scanned += n
+
+    def checkpoint(self):
+        """Guardrail checkpoint; call only where no page is pinned."""
+        if self.runtime is not None:
+            self.runtime.tick()
 
     def merge(self, other):
         self.elements_scanned += other.elements_scanned
@@ -50,6 +63,10 @@ class JoinSink:
         if self.parent_child and ancestor.level != descendant.level - 1:
             return
         self.stats.pairs += 1
+        if self.stats.runtime is not None:
+            # Row caps are charged per output pair; emit sites hold no
+            # pinned pages, so the cap may raise here safely.
+            self.stats.runtime.note_pair()
         if self.collect:
             self.pairs.append((ancestor, descendant))
 

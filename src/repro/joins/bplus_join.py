@@ -28,6 +28,8 @@ def bplus_join(atree, dtree, parent_child=False, collect=True, stats=None):
     d_cur = dtree.first()
     stack = []
     while not d_cur.at_end and (not a_cur.at_end or stack):
+        # Guardrail checkpoint at a pin-free point (see JoinStats).
+        stats.checkpoint()
         d = d_cur.current
         while stack and stack[-1].end < d.start:
             stack.pop()

@@ -23,6 +23,8 @@ def stack_tree_join(alist, dlist, parent_child=False, collect=True,
     d_cur = dlist.cursor()
     stack = []
     while not d_cur.at_end and (not a_cur.at_end or stack):
+        # Guardrail checkpoint at a pin-free point (see JoinStats).
+        stats.checkpoint()
         a_start = a_cur.current.start if not a_cur.at_end else _INF
         d = d_cur.current
         boundary = min(a_start, d.start)

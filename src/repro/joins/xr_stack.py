@@ -28,6 +28,9 @@ def xr_stack_join(atree, dtree, parent_child=False, collect=True, stats=None):
     d_cur = dtree.first()
     stack = []
     while not d_cur.at_end and (not a_cur.at_end or stack):
+        # Guardrail checkpoint: cursors hold no pins between iterations,
+        # so a deadline/cancellation trip here cannot leak buffer frames.
+        stats.checkpoint()
         d = d_cur.current
         # Line 5-7: pop stack elements that are not ancestors of CurD; they
         # cannot be ancestors of anything after CurD either.

@@ -10,7 +10,21 @@ A path like ``//department//employee/name`` is parsed into steps
 reused across queries.
 """
 
-from repro.query.engine import PathQueryEngine, QueryResult
+from repro.query.admission import (
+    AdmissionController,
+    AdmissionStats,
+    QueryRejected,
+)
+from repro.query.engine import PathQueryEngine, QueryError, QueryResult
+from repro.query.runtime import (
+    CancellationToken,
+    DeadlineExceeded,
+    PageQuotaExceeded,
+    QueryCancelled,
+    QueryContext,
+    QueryRuntimeError,
+    RowCapExceeded,
+)
 from repro.query.path import (
     AttributePredicate,
     Axis,
@@ -40,6 +54,17 @@ from repro.query.twigjoin import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "CancellationToken",
+    "DeadlineExceeded",
+    "PageQuotaExceeded",
+    "QueryCancelled",
+    "QueryContext",
+    "QueryError",
+    "QueryRejected",
+    "QueryRuntimeError",
+    "RowCapExceeded",
     "EstimatingPlanner",
     "GreedyPlanner",
     "JoinEstimate",

@@ -1,0 +1,202 @@
+"""Admission control for concurrent queries: slots, a bounded wait queue,
+per-query resource quotas, and load shedding.
+
+The ROADMAP's serving story ("heavy traffic from millions of users") needs
+one more layer above per-query guardrails: a governor deciding *whether a
+query may run at all*.  :class:`AdmissionController` implements the classic
+policy production engines converge on:
+
+* at most ``max_active`` queries hold an execution slot at once;
+* up to ``max_waiting`` callers may queue for a slot (bounded — the queue
+  cannot grow without limit under overload);
+* beyond that the controller **sheds load**: :meth:`acquire` fails
+  immediately with :class:`QueryRejected` instead of queueing, so a
+  saturated server answers "try later" in O(1) rather than stacking work
+  it will never finish;
+* every admitted query receives a fresh :class:`~repro.query.runtime.\
+  QueryContext` carrying the controller's per-query quotas (page quota,
+  deadline, row cap), so admission and in-flight guardrails are one
+  policy object.
+
+The controller is thread-safe (a condition variable guards the counters)
+and also works single-threaded, where a full house simply rejects.
+
+Usage::
+
+    controller = AdmissionController(max_active=4, max_waiting=8,
+                                     page_quota=10_000, deadline=2.0)
+    with controller.slot() as runtime:
+        result = engine.evaluate(path, runtime=runtime)
+
+or, wired into a database, ``XmlDatabase.attach_admission(controller)``
+makes every ``db.query(...)`` pass through it.
+"""
+
+import threading
+from dataclasses import dataclass
+
+from repro.query.runtime import QueryContext, QueryRuntimeError
+
+
+class QueryRejected(QueryRuntimeError):
+    """Admission refused: the server is saturated (load shedding) or the
+    caller's patience (``wait_timeout``) ran out before a slot freed."""
+
+    reason = "rejected"
+
+
+@dataclass
+class AdmissionStats:
+    """Counters for one controller's lifetime.
+
+    ``admitted``/``rejected`` count acquire outcomes (``rejected`` includes
+    wait timeouts); ``completed`` counts released slots; ``queued`` counts
+    acquisitions that had to wait; ``peak_active``/``peak_waiting`` are
+    high-water marks for capacity tuning.
+    """
+
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    queued: int = 0
+    peak_active: int = 0
+    peak_waiting: int = 0
+
+    def reset(self):
+        self.admitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.queued = 0
+        self.peak_active = 0
+        self.peak_waiting = 0
+
+
+class _Slot:
+    """An execution slot held by one admitted query (context manager)."""
+
+    __slots__ = ("_controller", "runtime", "_released")
+
+    def __init__(self, controller, runtime):
+        self._controller = controller
+        self.runtime = runtime
+        self._released = False
+
+    def release(self):
+        if not self._released:
+            self._released = True
+            self._controller._release()
+
+    def __enter__(self):
+        return self.runtime
+
+    def __exit__(self, exc_type, exc, tb):
+        self.release()
+
+
+class AdmissionController:
+    """Bounded concurrency with load shedding and per-query quotas.
+
+    ``max_active`` execution slots; ``max_waiting`` bounded queue (0 =
+    never queue, reject as soon as the slots are full); ``wait_timeout``
+    seconds a queued caller waits before being rejected (None = wait
+    forever).  ``page_quota``, ``deadline`` and ``row_cap`` are stamped
+    onto the :class:`~repro.query.runtime.QueryContext` each admitted
+    query receives.
+    """
+
+    def __init__(self, max_active=4, max_waiting=8, wait_timeout=None,
+                 page_quota=None, deadline=None, row_cap=None):
+        if max_active < 1:
+            raise ValueError("max_active must be at least 1")
+        if max_waiting < 0:
+            raise ValueError("max_waiting must be non-negative")
+        self.max_active = max_active
+        self.max_waiting = max_waiting
+        self.wait_timeout = wait_timeout
+        self.page_quota = page_quota
+        self.deadline = deadline
+        self.row_cap = row_cap
+        self.stats = AdmissionStats()
+        self._cond = threading.Condition()
+        self._active = 0
+        self._waiting = 0
+
+    # -- admission -----------------------------------------------------------
+
+    def acquire(self, timeout=None):
+        """Obtain an execution slot or raise :class:`QueryRejected`.
+
+        Returns a slot usable as a context manager whose ``as`` value is
+        the per-query :class:`~repro.query.runtime.QueryContext` (None
+        when the controller has no per-query quotas configured).
+        ``timeout`` overrides the controller's ``wait_timeout``.
+        """
+        wait_limit = self.wait_timeout if timeout is None else timeout
+        with self._cond:
+            if self._active >= self.max_active:
+                if self._waiting >= self.max_waiting:
+                    self.stats.rejected += 1
+                    raise QueryRejected(
+                        "admission queue full (%d active, %d waiting)"
+                        % (self._active, self._waiting)
+                    )
+                self.stats.queued += 1
+                self._waiting += 1
+                self.stats.peak_waiting = max(self.stats.peak_waiting,
+                                              self._waiting)
+                try:
+                    if not self._cond.wait_for(
+                            lambda: self._active < self.max_active,
+                            timeout=wait_limit):
+                        self.stats.rejected += 1
+                        raise QueryRejected(
+                            "no slot freed within %.3fs" % wait_limit
+                        )
+                finally:
+                    self._waiting -= 1
+            self._active += 1
+            self.stats.admitted += 1
+            self.stats.peak_active = max(self.stats.peak_active, self._active)
+        return _Slot(self, self.runtime_for())
+
+    def slot(self, timeout=None):
+        """Alias for :meth:`acquire` reading naturally as a ``with`` block."""
+        return self.acquire(timeout)
+
+    def _release(self):
+        with self._cond:
+            self._active -= 1
+            self.stats.completed += 1
+            self._cond.notify()
+
+    # -- policy --------------------------------------------------------------
+
+    def runtime_for(self):
+        """A fresh per-query context carrying this controller's quotas.
+
+        None when no per-query limit is configured — callers then run
+        unguarded (or supply their own context).
+        """
+        if (self.page_quota is None and self.deadline is None
+                and self.row_cap is None):
+            return None
+        return QueryContext(deadline=self.deadline,
+                            page_budget=self.page_quota,
+                            row_cap=self.row_cap)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def active(self):
+        return self._active
+
+    @property
+    def waiting(self):
+        return self._waiting
+
+    def describe(self):
+        return ("AdmissionController(active=%d/%d, waiting=%d/%d, "
+                "admitted=%d, rejected=%d)"
+                % (self._active, self.max_active, self._waiting,
+                   self.max_waiting, self.stats.admitted,
+                   self.stats.rejected))

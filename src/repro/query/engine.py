@@ -18,20 +18,43 @@ from repro.core.api import StorageContext, build_element_list, build_xr_tree
 from repro.joins import stack_tree_join, xr_stack_join
 from repro.joins.base import JoinStats
 from repro.query.path import AttributePredicate, Axis, parse_path
+from repro.query.runtime import PageQuotaExceeded
+from repro.storage.errors import ChecksumError
 
 
 class QueryError(Exception):
-    """Evaluation-time failure (unknown tag, unsupported feature)."""
+    """Evaluation-time failure (unknown tag, unsupported feature, or a
+    storage-level fault wrapped with query context).
+
+    When the underlying cause is a :class:`~repro.storage.errors.\
+    ChecksumError` surfacing mid-join, the instance carries ``query`` (the
+    path text) and ``index_name`` (the tag whose index failed), and chains
+    the original error.
+    """
+
+    def __init__(self, message, query=None, index_name=None):
+        super().__init__(message)
+        self.query = query
+        self.index_name = index_name
 
 
 @dataclass
 class QueryResult:
-    """Matched elements plus the run's accumulated join statistics."""
+    """Matched elements plus the run's accumulated join statistics.
+
+    ``degraded`` is True when the page quota tripped mid-evaluation and
+    the engine completed the query on the streaming stack-tree plan
+    instead (``degrade_reason`` names the trigger); ``runtime`` is the
+    governing :class:`~repro.query.runtime.QueryContext`, if any.
+    """
 
     path: str
     matches: list
     stats: JoinStats = field(default_factory=JoinStats)
     joins_run: int = 0
+    degraded: bool = False
+    degrade_reason: str = None
+    runtime: object = None
 
     def __len__(self):
         return len(self.matches)
@@ -64,11 +87,14 @@ class PathQueryEngine:
         self._tag_entries = {}
         self._tag_indexes = {}
         self._all_tags = None
+        self._strategy_override = None
+        self._active_tag = None
 
     # -- element-set access -----------------------------------------------------
 
     def entries_for(self, tag):
         """The start-sorted element set for ``tag`` (cached)."""
+        self._active_tag = tag  # checksum-failure attribution
         if tag not in self._tag_entries:
             if tag == "*":
                 if self._all_tags is None:
@@ -92,6 +118,7 @@ class PathQueryEngine:
         already evicted or mutated.  Only trees the engine builds itself
         are kept in ``_tag_indexes``.
         """
+        self._active_tag = tag  # checksum-failure attribution
         if self._index_loader is not None:
             tree = self._index_loader(tag)
             if tree is not None:
@@ -123,31 +150,84 @@ class PathQueryEngine:
 
     # -- evaluation -----------------------------------------------------------------
 
-    def evaluate(self, path):
+    def evaluate(self, path, runtime=None):
         """Evaluate ``path`` (text or a parsed expression).
 
         Returns a :class:`QueryResult` whose matches are the elements bound
         to the path's *last* step, in document order.
+
+        ``runtime`` optionally attaches a :class:`~repro.query.runtime.\
+        QueryContext` governing the run.  Deadlines, cancellation and row
+        caps raise their typed errors; a tripped *page quota* instead
+        walks the degradation ladder: an xr-stack evaluation is retried
+        once as a streaming stack-tree plan (no throwaway index builds,
+        sequential list scans) with the quota rebased, and the result is
+        marked ``degraded``.  If the streaming plan exhausts the quota
+        too, :class:`~repro.query.runtime.PageQuotaExceeded` surfaces.
         """
         expression = parse_path(path) if isinstance(path, str) else path
+        if runtime is not None:
+            runtime.start(self.context.pool)
+        try:
+            return self._evaluate_once(expression, runtime)
+        except PageQuotaExceeded:
+            if (runtime is None or not runtime.allow_degraded
+                    or runtime.degraded or self.strategy != "xr-stack"):
+                raise
+            runtime.enter_degraded("page-quota")
+            result = self._evaluate_once(expression, runtime,
+                                         strategy="stack-tree")
+            result.degraded = True
+            result.degrade_reason = "page-quota"
+            return result
+
+    def _evaluate_once(self, expression, runtime=None, strategy=None):
+        """One evaluation pass under an optional forced strategy.
+
+        A :class:`~repro.storage.errors.ChecksumError` escaping from deep
+        inside a join loop (a corrupt index page read mid-query) is
+        wrapped into :class:`QueryError` carrying the query text and the
+        failing index's tag, chaining the original error.
+        """
         stats = JoinStats()
+        stats.runtime = runtime
         self._joins_run = 0
-        steps = list(expression.steps)
-        first = steps[0]
-        if first.axis.is_reverse:
-            raise QueryError("a path cannot start with a reverse axis")
-        current = list(self.entries_for(first.tag))
-        if first.axis is Axis.CHILD:
-            # An absolute /tag step binds only root-level elements.
-            current = [e for e in current if e.level == 0]
-        current = self._apply_predicates(current, first, stats)
-        for step in steps[1:]:
-            if not current:
-                break
-            current = self._join_step(current, step, stats)
-            self._joins_run += 1
-            current = self._apply_predicates(current, step, stats)
-        return QueryResult(str(expression), current, stats, self._joins_run)
+        self._strategy_override = strategy
+        self._active_tag = None
+        try:
+            steps = list(expression.steps)
+            first = steps[0]
+            if first.axis.is_reverse:
+                raise QueryError("a path cannot start with a reverse axis")
+            self._active_tag = first.tag
+            current = list(self.entries_for(first.tag))
+            if first.axis is Axis.CHILD:
+                # An absolute /tag step binds only root-level elements.
+                current = [e for e in current if e.level == 0]
+            current = self._apply_predicates(current, first, stats)
+            for step in steps[1:]:
+                if not current:
+                    break
+                if runtime is not None:
+                    runtime.check()
+                self._active_tag = step.tag
+                current = self._join_step(current, step, stats)
+                self._joins_run += 1
+                current = self._apply_predicates(current, step, stats)
+        except ChecksumError as exc:
+            raise QueryError(
+                "query %s failed: %s (index for tag %r is corrupt)"
+                % (expression, exc, self._active_tag),
+                query=str(expression), index_name=self._active_tag,
+            ) from exc
+        finally:
+            self._strategy_override = None
+        return QueryResult(str(expression), current, stats, self._joins_run,
+                           runtime=runtime)
+
+    def _current_strategy(self):
+        """The strategy in force: a degradation override, else the default."""
+        return self._strategy_override or self.strategy
 
     def _reverse_step(self, context, step, stats):
         """``parent::`` / ``ancestor::`` steps: one FindAncestors probe per
@@ -157,6 +237,7 @@ class PathQueryEngine:
         seen = set()
         out = []
         for element in context:
+            stats.checkpoint()
             required = (element.level - 1 if step.axis is Axis.PARENT
                         else None)
             found = tree.find_ancestors(element.start, counter=stats,
@@ -194,6 +275,7 @@ class PathQueryEngine:
             )
         survivors = []
         for element in matches:
+            stats.checkpoint()
             stats.count(1)
             node = node_at(element.ptr)
             value = node.attributes.get(predicate.name)
@@ -231,7 +313,7 @@ class PathQueryEngine:
         parent_child = axis is Axis.CHILD
         ancestors = sorted(ancestors, key=lambda e: e.start)
         descendants = sorted(descendants, key=lambda e: e.start)
-        if self.strategy == "xr-stack":
+        if self._current_strategy() == "xr-stack":
             a_tree = build_xr_tree(ancestors, self.context.pool)
             d_tree = build_xr_tree(descendants, self.context.pool)
             pairs, _ = xr_stack_join(a_tree, d_tree,
@@ -319,7 +401,7 @@ class PathQueryEngine:
         descendants = self.entries_for(step.tag)
         if not descendants:
             return []
-        if self.strategy == "xr-stack":
+        if self._current_strategy() == "xr-stack":
             a_tree = build_xr_tree(sorted(ancestors, key=lambda e: e.start),
                                    self.context.pool)
             d_tree = self.index_for(step.tag)

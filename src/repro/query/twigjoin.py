@@ -146,6 +146,9 @@ def twig_join(entry_source, root, collect=True, stats=None):
 
     by_index = {node.index: node for node in nodes}
     while True:
+        # Guardrail checkpoint: streams are in-memory lists, nothing is
+        # pinned between iterations.
+        stats.checkpoint()
         q = _min_stream(nodes, streams)
         if q is None:
             break
@@ -349,6 +352,8 @@ def twig_stack_join(entry_source, root, collect=True, stats=None):
         return n_min
 
     while True:
+        # Guardrail checkpoint (pin-free: twig streams are in-memory).
+        stats.checkpoint()
         q = get_next(root)
         if q is None:
             break
@@ -386,12 +391,18 @@ def twig_stack_join(entry_source, root, collect=True, stats=None):
     return result
 
 
-def evaluate_twig(document, path, collect=True):
+def evaluate_twig(document, path, collect=True, runtime=None):
     """Convenience wrapper: match ``path`` (with predicates) holistically.
 
     Returns ``(solutions, output_node_index)`` — the output node is the last
     trunk step, whose distinct bindings equal the pipeline engine's matches.
+    ``runtime`` optionally attaches a :class:`~repro.query.runtime.\
+    QueryContext` so the holistic pass honours deadlines and cancellation.
     """
     root, output = twig_from_path(path)
-    solutions = twig_join(document.entries_for_tag, root, collect=collect)
+    stats = JoinStats()
+    if runtime is not None:
+        stats.runtime = runtime.start()
+    solutions = twig_join(document.entries_for_tag, root, collect=collect,
+                          stats=stats)
     return solutions, output.index

@@ -34,6 +34,12 @@ from repro.storage.indexmanager import (
     IndexManagerStats,
 )
 from repro.storage.journal import Journal
+from repro.storage.scrub import (
+    IndexQuarantinedError,
+    IntegrityScrubber,
+    RebuildResult,
+    ScrubReport,
+)
 from repro.storage.pages import (
     DEFAULT_PAGE_SIZE,
     PAGE_HEADER_SIZE,
@@ -62,6 +68,10 @@ __all__ = [
     "IndexManager",
     "IndexManagerError",
     "IndexManagerStats",
+    "IndexQuarantinedError",
+    "IntegrityScrubber",
+    "RebuildResult",
+    "ScrubReport",
     "InMemoryDisk",
     "IOStats",
     "Journal",

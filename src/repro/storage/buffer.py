@@ -20,18 +20,27 @@ DEFAULT_POOL_PAGES = 100  # the paper's fixed buffer pool size
 
 @dataclass
 class BufferStats:
-    """Counters for logical page requests served by the pool."""
+    """Counters for logical page requests served by the pool.
+
+    ``max_pinned`` is the high-water mark of *simultaneously pinned*
+    frames — the number a per-query page quota must stay above to be
+    satisfiable, and the observable ceiling for admission-control tuning.
+    ``reset`` rebases it to the pool's current pinned count (a high-water
+    mark has no meaningful zero while pages stay pinned).
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     writebacks: int = 0
+    max_pinned: int = 0
 
-    def reset(self):
+    def reset(self, pinned_now=0):
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.writebacks = 0
+        self.max_pinned = pinned_now
 
     @property
     def requests(self):
@@ -44,14 +53,18 @@ class BufferStats:
         return self.hits / self.requests
 
     def snapshot(self):
-        return BufferStats(self.hits, self.misses, self.evictions, self.writebacks)
+        return BufferStats(self.hits, self.misses, self.evictions,
+                           self.writebacks, self.max_pinned)
 
     def delta(self, earlier):
+        # max_pinned is a high-water mark, not a counter: the delta view
+        # keeps the later absolute value rather than a meaningless diff.
         return BufferStats(
             self.hits - earlier.hits,
             self.misses - earlier.misses,
             self.evictions - earlier.evictions,
             self.writebacks - earlier.writebacks,
+            self.max_pinned,
         )
 
 
@@ -155,6 +168,7 @@ class BufferPool:
         self.stats = BufferStats()
         self._policy = _POLICIES[policy]()
         self._frames = {}  # page_id -> Page
+        self._pinned = 0   # frames with pin_count > 0 (kept incrementally)
 
     @property
     def page_size(self):
@@ -186,6 +200,8 @@ class BufferPool:
             page.page_id = page_id
             self._frames[page_id] = page
             self._policy.admitted(page_id)
+        if page.pin_count == 0:
+            self._note_pinned()
         page.pin_count += 1
         return page
 
@@ -197,6 +213,7 @@ class BufferPool:
         page.page_id = self.disk.allocate()
         page.dirty = True
         page.pin_count = 1
+        self._note_pinned()
         self._frames[page.page_id] = page
         self._policy.admitted(page.page_id)
         return page
@@ -208,6 +225,8 @@ class BufferPool:
         if dirty:
             page.dirty = True
         page.pin_count -= 1
+        if page.pin_count == 0:
+            self._pinned -= 1
 
     @contextmanager
     def pinned(self, page_id):
@@ -232,6 +251,7 @@ class BufferPool:
         self.disk.free(page.page_id)
         page.page_id = None
         page.pin_count = 0
+        self._pinned -= 1
         page.dirty = False
 
     # -- maintenance ------------------------------------------------------------
@@ -263,11 +283,17 @@ class BufferPool:
         self._frames.clear()
 
     def reset_stats(self):
-        self.stats.reset()
+        self.stats.reset(pinned_now=self._pinned)
+
+    def _note_pinned(self):
+        """A frame's pin count just went 0 -> 1: update the high-water mark."""
+        self._pinned += 1
+        if self._pinned > self.stats.max_pinned:
+            self.stats.max_pinned = self._pinned
 
     @property
     def pinned_count(self):
-        return sum(1 for page in self._frames.values() if page.pin_count)
+        return self._pinned
 
     @property
     def resident_count(self):

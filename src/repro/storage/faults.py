@@ -142,7 +142,10 @@ class FaultInjectingDisk:
     def sync(self):
         if self.dead:
             raise CrashPoint("operation on a crashed disk")
-        return self.inner.sync()
+        sync = getattr(self.inner, "sync", None)
+        if sync is not None:  # InMemoryDisk has no commit point
+            return sync()
+        return None
 
     def close(self):
         """Close the wrapped disk — without committing if it crashed."""

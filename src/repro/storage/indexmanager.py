@@ -72,6 +72,10 @@ class IndexManagerStats:
     ``get_or_create_*``; ``evictions``/``writebacks`` count LRU evictions
     and catalog metadata saves; ``invalidations`` counts handles discarded
     or dropped without write-back.
+
+    ``max_pinned`` is not a manager counter: owners that expose both
+    layers through one stats object (``XmlDatabase.index_stats``) stamp
+    the buffer pool's pinned-frame high-water mark here.
     """
 
     hits: int = 0
@@ -81,6 +85,7 @@ class IndexManagerStats:
     evictions: int = 0
     writebacks: int = 0
     invalidations: int = 0
+    max_pinned: int = 0
 
     @property
     def requests(self):
@@ -100,11 +105,13 @@ class IndexManagerStats:
         self.evictions = 0
         self.writebacks = 0
         self.invalidations = 0
+        self.max_pinned = 0
 
     def snapshot(self):
         return IndexManagerStats(self.hits, self.misses, self.loads,
                                  self.creations, self.evictions,
-                                 self.writebacks, self.invalidations)
+                                 self.writebacks, self.invalidations,
+                                 self.max_pinned)
 
 
 class IndexHandle:

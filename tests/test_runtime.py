@@ -1,0 +1,324 @@
+"""Query-runtime guardrails: deadlines, cancellation, quotas, admission.
+
+The contract under test:
+
+* guardrail trips raise their typed errors at *pin-free* checkpoints, so a
+  cancelled or timed-out query never leaks a pinned buffer frame and the
+  pool stays fully reusable;
+* an unbounded descendant-heavy join over a 30k-element corpus is stopped
+  within 2x its configured deadline;
+* a query that exhausts its page quota completes on the degraded streaming
+  plan with results identical to the oracle join;
+* the admission controller bounds concurrency, queues up to its limit and
+  sheds load beyond it.
+
+The cancellation sweep is seeded: set ``CHAOS_SEED`` to reproduce.
+"""
+
+import os
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core.api import StorageContext, build_xr_tree, oracle_join, \
+    structural_join
+from repro.core.database import XmlDatabase
+from repro.query.admission import AdmissionController, QueryRejected
+from repro.query.runtime import (
+    CancellationToken,
+    DeadlineExceeded,
+    PageQuotaExceeded,
+    QueryCancelled,
+    QueryContext,
+    RowCapExceeded,
+)
+from repro.workloads import department_dataset
+
+SEED = int(os.environ.get("CHAOS_SEED", "20030307"))
+
+
+class TripAfter(CancellationToken):
+    """A token that reports cancelled after ``fuse`` observations."""
+
+    __slots__ = ("_fuse",)
+
+    def __init__(self, fuse):
+        super().__init__()
+        self._fuse = fuse
+
+    @property
+    def cancelled(self):
+        if self._fuse <= 0:
+            return True
+        self._fuse -= 1
+        return False
+
+
+# -- QueryContext unit behaviour -----------------------------------------------
+
+
+def test_context_validation():
+    with pytest.raises(ValueError):
+        QueryContext(deadline=0)
+    with pytest.raises(ValueError):
+        QueryContext(page_budget=0)
+    with pytest.raises(ValueError):
+        QueryContext(row_cap=-1)
+    with pytest.raises(ValueError):
+        QueryContext(check_every=0)
+
+
+def test_token_cancels_at_next_tick():
+    token = CancellationToken()
+    ctx = QueryContext(token=token).start()
+    ctx.tick()
+    token.cancel("client went away")
+    with pytest.raises(QueryCancelled, match="client went away"):
+        ctx.tick()
+
+
+def test_deadline_checked_every_n_ticks():
+    ctx = QueryContext(deadline=0.005, check_every=4).start()
+    time.sleep(0.01)
+    ctx.tick()  # ticks 1-3 skip the clock
+    ctx.tick()
+    ctx.tick()
+    with pytest.raises(DeadlineExceeded):
+        ctx.tick()
+
+
+def test_check_forces_the_clock():
+    ctx = QueryContext(deadline=0.005, check_every=1000).start()
+    time.sleep(0.01)
+    with pytest.raises(DeadlineExceeded):
+        ctx.check()
+
+
+def test_row_cap_counts_emitted_pairs():
+    ctx = QueryContext(row_cap=2).start()
+    ctx.note_pair()
+    ctx.note_pair()
+    with pytest.raises(RowCapExceeded):
+        ctx.note_pair()
+
+
+def test_page_budget_counts_logical_requests():
+    context = StorageContext()
+    tree = build_xr_tree(department_dataset(300, seed=SEED).ancestors,
+                         context.pool)
+    ctx = QueryContext(page_budget=3, check_every=1).start(context.pool)
+    with pytest.raises(PageQuotaExceeded):
+        for _ in range(100):
+            list(tree.items())
+            ctx.tick()
+    assert ctx.pages_used > 3
+
+
+def test_idle_context_never_trips():
+    ctx = QueryContext().start()
+    for _ in range(10000):
+        ctx.tick()
+    assert ctx.ticks == 10000
+    assert "unlimited" in ctx.describe()
+
+
+# -- deadline and cancellation through real joins ------------------------------
+
+
+def test_deadline_stops_30k_join_within_twice_the_budget():
+    """Acceptance: an unbounded descendant-heavy join over a 30k-element
+    corpus is cancelled within 2x the configured deadline, leaking no
+    pinned pages, and the pool remains usable."""
+    data = department_dataset(target_elements=30000, seed=SEED)
+    context = StorageContext()
+    atree = build_xr_tree(data.ancestors, context.pool)
+    dtree = build_xr_tree(data.descendants, context.pool)
+    deadline = 0.05
+    runtime = QueryContext(deadline=deadline, check_every=16)
+    started = time.perf_counter()
+    with pytest.raises(DeadlineExceeded):
+        structural_join(atree, dtree, context=context, runtime=runtime)
+    elapsed = time.perf_counter() - started
+    assert elapsed <= 2 * deadline, (
+        "join outlived its deadline: %.3fs > 2 * %.3fs" % (elapsed, deadline)
+    )
+    assert context.pool.pinned_count == 0, "cancelled join leaked pins"
+    # The pool is still fully usable for the next query.
+    small = department_dataset(400, seed=SEED + 1)
+    outcome = structural_join(small.ancestors, small.descendants,
+                              context=context)
+    assert outcome.pairs == oracle_join(small.ancestors, small.descendants)
+
+
+def test_cancellation_sweep_releases_all_pins():
+    """Property sweep: whatever checkpoint a cancellation lands on, the
+    join raises QueryCancelled with zero pinned frames left behind, and an
+    immediate un-cancelled rerun returns the oracle answer."""
+    rng = random.Random(SEED)
+    data = department_dataset(800, seed=SEED)
+    expected = oracle_join(data.ancestors, data.descendants)
+    for algorithm in ("xr-stack", "stack-tree", "b+"):
+        context = StorageContext()
+        for trial in range(4):
+            fuse = rng.randrange(0, 200)
+            runtime = QueryContext(token=TripAfter(fuse), check_every=1)
+            try:
+                outcome = structural_join(data.ancestors, data.descendants,
+                                          algorithm=algorithm,
+                                          context=context, runtime=runtime)
+            except QueryCancelled:
+                pass
+            else:
+                assert outcome.pairs == expected
+            assert context.pool.pinned_count == 0, (
+                "%s leaked pins at fuse %d (trial %d)"
+                % (algorithm, fuse, trial)
+            )
+        rerun = structural_join(data.ancestors, data.descendants,
+                                algorithm=algorithm, context=context)
+        assert rerun.pairs == expected
+
+
+def test_row_cap_trips_through_join_sink():
+    data = department_dataset(800, seed=SEED)
+    full = structural_join(data.ancestors, data.descendants)
+    assert full.pair_count > 5
+    with pytest.raises(RowCapExceeded):
+        structural_join(data.ancestors, data.descendants,
+                        runtime=QueryContext(row_cap=5))
+
+
+# -- degradation ladder in the query engine ------------------------------------
+
+
+def _nested_db():
+    xml = ("<lib>"
+           + "".join("<shelf>" + "<book><title/></book>" * 6 + "</shelf>"
+                     for _ in range(8))
+           + "</lib>")
+    db = XmlDatabase.create()
+    db.add_document(xml)
+    return db
+
+
+def test_page_quota_degrades_to_streaming_plan_with_oracle_results():
+    """Acceptance: exhausting the page quota mid-join completes the query
+    on the stack-tree plan, flags the result, and the answer matches the
+    oracle join exactly."""
+    db = _nested_db()
+    shelves = db.entries_for_tag("shelf")
+    titles = db.entries_for_tag("title")
+    expected = sorted({d.start for _a, d in oracle_join(shelves, titles)})
+    baseline = db.query("//shelf//title")
+    assert baseline.starts() == expected and not baseline.degraded
+    # Steady-state cost of the xr-stack plan (caches warm after two runs).
+    probe = QueryContext(page_budget=10 ** 9, check_every=1)
+    db.query("//shelf//title", runtime=probe)
+    steady = probe.pages_used
+    assert steady > 1
+    runtime = QueryContext(page_budget=steady - 1, check_every=1)
+    result = db.query("//shelf//title", runtime=runtime)
+    assert result.degraded
+    assert result.degrade_reason == "page-quota"
+    assert runtime.degraded and runtime.degrade_reason == "page-quota"
+    assert result.starts() == expected
+    # A later un-budgeted query is back on the primary plan.
+    again = db.query("//shelf//title")
+    assert not again.degraded and again.starts() == expected
+
+
+def test_degradation_can_be_disabled():
+    db = _nested_db()
+    probe = QueryContext(page_budget=10 ** 9, check_every=1)
+    db.query("//shelf//title", runtime=probe)  # warm the caches
+    db.query("//shelf//title", runtime=probe)  # steady-state cost
+    runtime = QueryContext(page_budget=probe.pages_used - 1, check_every=1,
+                           allow_degraded=False)
+    with pytest.raises(PageQuotaExceeded):
+        db.query("//shelf//title", runtime=runtime)
+
+
+# -- admission control ---------------------------------------------------------
+
+
+def test_admission_rejects_when_saturated():
+    controller = AdmissionController(max_active=1, max_waiting=0)
+    slot = controller.acquire()
+    with pytest.raises(QueryRejected):
+        controller.acquire()
+    slot.release()
+    with controller.slot():
+        pass
+    assert controller.stats.admitted == 2
+    assert controller.stats.rejected == 1
+    assert controller.stats.completed == 2
+
+
+def test_admission_wait_timeout_rejects():
+    controller = AdmissionController(max_active=1, max_waiting=2)
+    slot = controller.acquire()
+    with pytest.raises(QueryRejected):
+        controller.acquire(timeout=0.02)
+    assert controller.stats.queued == 1
+    assert controller.waiting == 0
+    slot.release()
+
+
+def test_admission_queue_drains_under_threads():
+    controller = AdmissionController(max_active=2, max_waiting=8)
+    running = []
+    lock = threading.Lock()
+
+    def work():
+        with controller.slot():
+            with lock:
+                running.append(1)
+                assert len(running) <= 2
+            time.sleep(0.005)
+            with lock:
+                running.pop()
+
+    threads = [threading.Thread(target=work) for _ in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert controller.stats.admitted == 6
+    assert controller.stats.completed == 6
+    assert controller.stats.peak_active <= 2
+    assert controller.active == 0
+
+
+def test_admission_stamps_per_query_runtime():
+    controller = AdmissionController(page_quota=500, deadline=1.5, row_cap=9)
+    with controller.slot() as runtime:
+        assert runtime.page_budget == 500
+        assert runtime.deadline == 1.5
+        assert runtime.row_cap == 9
+    assert AdmissionController().runtime_for() is None
+
+
+def test_database_routes_queries_through_admission():
+    db = _nested_db()
+    controller = db.attach_admission(
+        AdmissionController(max_active=1, max_waiting=0, page_quota=10 ** 9)
+    )
+    result = db.query("//shelf//title")
+    assert result.runtime is not None  # controller-stamped context
+    held = controller.acquire()
+    with pytest.raises(QueryRejected):
+        db.query("//shelf//title")
+    held.release()
+    assert controller.stats.completed == 2  # query slot + manual slot
+    assert db.query("//book//title").starts() == result.starts()
+
+
+def test_max_pinned_high_water_mark_surfaces():
+    db = _nested_db()
+    db.query("//shelf//title")
+    stats = db.index_stats
+    assert stats.max_pinned >= 1
+    snapshot = stats.snapshot()
+    assert snapshot.max_pinned == stats.max_pinned
