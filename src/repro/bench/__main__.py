@@ -47,6 +47,9 @@ def main(argv=None):
                         help="write the markdown report here (default stdout)")
     parser.add_argument("--csv", default=None,
                         help="also write every sweep cell as CSV here")
+    parser.add_argument("--json", default=None,
+                        help="also write every sweep as a JSON report "
+                             "(with logical page_requests counters) here")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--skip-studies", action="store_true",
                         help="only run the six sweeps")
@@ -55,6 +58,7 @@ def main(argv=None):
     config = ExperimentConfig(target_elements=args.scale, seed=args.seed)
     sections = []
     csv_chunks = []
+    json_sweeps = []
     datasets = {
         "employee_name": department_dataset(args.scale, seed=args.seed),
         "paper_author": conference_dataset(args.scale, seed=args.seed),
@@ -84,6 +88,12 @@ def main(argv=None):
             from repro.bench.report import sweep_to_csv
 
             csv_chunks.append(sweep_to_csv(result))
+        if args.json:
+            import json as _json
+
+            from repro.bench.report import sweep_to_json
+
+            json_sweeps.append(_json.loads(sweep_to_json(result)))
         print("finished %s in %.1fs" % (title, took), file=sys.stderr)
 
     if not args.skip_studies:
@@ -100,6 +110,14 @@ def main(argv=None):
         with open(args.csv, "w") as handle:
             handle.write("\n".join(body) + "\n")
         print("wrote %s" % args.csv, file=sys.stderr)
+    if args.json and json_sweeps:
+        import json as _json
+
+        with open(args.json, "w") as handle:
+            _json.dump({"scale": args.scale, "sweeps": json_sweeps},
+                       handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.json, file=sys.stderr)
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(report)

@@ -65,7 +65,12 @@ class ExperimentConfig:
 
 @dataclass
 class SweepCell:
-    """One (selectivity, algorithm) measurement."""
+    """One (selectivity, algorithm) measurement.
+
+    ``page_requests`` is the *logical* I/O count (buffer hits + misses) —
+    deterministic across pool sizes, unlike ``page_misses``; ``skips``
+    counts the XR-stack/B+ index skip probes the join issued.
+    """
 
     selectivity: float
     algorithm: str
@@ -78,16 +83,25 @@ class SweepCell:
     join_a: float
     join_d: float
     list_sizes: tuple
+    page_requests: int = 0
+    skips: int = 0
 
 
 @dataclass
 class SweepResult:
-    """All cells of one sweep, grouped for table/series rendering."""
+    """All cells of one sweep, grouped for table/series rendering.
+
+    ``metrics`` is one flat snapshot of the sweep-level counters
+    (queries run, logical/physical I/O totals), taken when the sweep
+    finishes — what :func:`repro.bench.report.sweep_to_json` embeds in
+    the emitted report.
+    """
 
     dataset: str
     protocol: str
     config: ExperimentConfig
     cells: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
 
     def cell(self, selectivity, algorithm):
         for cell in self.cells:
@@ -143,5 +157,17 @@ def run_selectivity_sweep(dataset="employee_name", protocol="ancestors",
                 join_d=workload.join_d,
                 list_sizes=(len(workload.ancestors),
                             len(workload.descendants)),
+                page_requests=outcome.page_requests,
+                skips=(outcome.stats.ancestor_skips
+                       + outcome.stats.descendant_skips),
             ))
+    result.metrics = {
+        "cells": len(result.cells),
+        "page_requests": sum(c.page_requests for c in result.cells),
+        "page_misses": sum(c.page_misses for c in result.cells),
+        "elements_scanned": sum(c.elements_scanned for c in result.cells),
+        "pairs": sum(c.pairs for c in result.cells),
+        "skip_probes": sum(c.skips for c in result.cells),
+        "wall_seconds": sum(c.wall_seconds for c in result.cells),
+    }
     return result

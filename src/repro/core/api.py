@@ -224,7 +224,12 @@ class XRTreeIndex:
 
 @dataclass
 class JoinOutcome:
-    """Everything measured about one join run."""
+    """Everything measured about one join run.
+
+    ``page_requests`` counts *logical* page fetches (hits + misses) — the
+    deterministic cost unit quotas and profiles use; ``page_misses`` the
+    physical subset the paper's elapsed-time model prices.
+    """
 
     algorithm: str
     pairs: list
@@ -234,6 +239,7 @@ class JoinOutcome:
     wall_seconds: float = 0.0
     derived_seconds: float = 0.0
     build_page_misses: int = 0
+    page_requests: int = 0
 
     @property
     def pair_count(self):
@@ -298,7 +304,7 @@ def _resolve_join_input(side, value, input_kind, pool, fill_factor):
 
 def structural_join(ancestors, descendants, algorithm="xr-stack",
                     parent_child=False, context=None, collect=True,
-                    fill_factor=1.0, runtime=None):
+                    fill_factor=1.0, runtime=None, profile=None):
     """Run one structural join end to end and measure it.
 
     ``ancestors`` and ``descendants`` are either start-sorted element-entry
@@ -318,6 +324,10 @@ def structural_join(ancestors, descendants, algorithm="xr-stack",
     when given, the join honours its deadline, cancellation token, page
     budget and row cap (raising the corresponding
     :class:`~repro.query.runtime.QueryRuntimeError` subclass).
+
+    ``profile`` is an optional :class:`~repro.obs.profile.QueryProfile`
+    (also picked up from ``runtime.profile``): the measured join is
+    recorded as one operator with its scan/skip/page actuals.
     """
     spec = get_algorithm(algorithm)
     if context is None:
@@ -348,9 +358,27 @@ def structural_join(ancestors, descendants, algorithm="xr-stack",
     if runtime is not None:
         runtime.start(pool)
         stats.runtime = runtime
+        if profile is None:
+            profile = runtime.profile
     started = time.perf_counter()
-    pairs, stats = spec.runner(a_input, d_input, parent_child=parent_child,
-                               collect=collect, stats=stats)
+    if profile is not None:
+        sizes = {}
+        for key, value in (("input_a", ancestors), ("input_d", descendants)):
+            try:
+                sizes[key] = len(value)
+            except TypeError:
+                sizes[key] = getattr(value, "size", 0)
+        with profile.operator("%s structural join" % algorithm, "join",
+                              algorithm=algorithm, stats=stats, pool=pool,
+                              **sizes) as op:
+            pairs, stats = spec.runner(a_input, d_input,
+                                       parent_child=parent_child,
+                                       collect=collect, stats=stats)
+            op.rows_out = stats.pairs
+    else:
+        pairs, stats = spec.runner(a_input, d_input,
+                                   parent_child=parent_child,
+                                   collect=collect, stats=stats)
     wall = time.perf_counter() - started
     return JoinOutcome(
         algorithm=algorithm,
@@ -361,6 +389,7 @@ def structural_join(ancestors, descendants, algorithm="xr-stack",
         wall_seconds=wall,
         derived_seconds=context.derived_seconds(stats.elements_scanned),
         build_page_misses=build_misses,
+        page_requests=pool.stats.requests,
     )
 
 

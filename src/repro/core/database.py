@@ -33,6 +33,7 @@ the handle-cache counters.
 import json
 
 from repro.core.api import StorageContext
+from repro.obs import Observability
 from repro.query.engine import PathQueryEngine
 from repro.storage.catalog import Catalog
 from repro.storage.indexmanager import DEFAULT_HANDLE_BUDGET, IndexManager
@@ -42,6 +43,7 @@ from repro.xmldata.parser import parse_document
 
 _REGISTRY = "__documents__"
 _DOC_GAP = 16
+_KEEP = object()  # configure_observability: "leave this setting alone"
 
 
 class XmlDatabaseError(Exception):
@@ -61,6 +63,9 @@ class XmlDatabase:
         self._engine = None
         self._scrubber = None
         self._admission = None
+        self.observability = Observability()
+        context.pool.tracer = self.observability.tracer
+        self._register_collectors()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -237,10 +242,11 @@ class XmlDatabase:
             self._engine = PathQueryEngine(
                 self, context=self._context,
                 index_loader=lambda tag: self._tree_for(tag),
+                observability=self.observability,
             )
         return self._engine
 
-    def query(self, path, runtime=None):
+    def query(self, path, runtime=None, profile=None):
         """Evaluate a path/twig expression over the stored indexes.
 
         ``runtime`` is an optional
@@ -251,13 +257,19 @@ class XmlDatabase:
         execution slot — and may be rejected outright under load — and
         inherits the controller's per-query limits unless ``runtime`` is
         given explicitly.
+
+        ``profile`` optionally attaches a
+        :class:`~repro.obs.profile.QueryProfile` recording per-operator
+        actuals; the filled profile also rides on ``result.profile``.
         """
         if self._admission is None:
-            return self._ensure_engine().evaluate(path, runtime=runtime)
+            return self._ensure_engine().evaluate(path, runtime=runtime,
+                                                  profile=profile)
         with self._admission.slot() as slot_runtime:
             if runtime is None:
                 runtime = slot_runtime
-            return self._ensure_engine().evaluate(path, runtime=runtime)
+            return self._ensure_engine().evaluate(path, runtime=runtime,
+                                                  profile=profile)
 
     def attach_admission(self, controller):
         """Route queries through an admission controller; returns it."""
@@ -268,9 +280,188 @@ class XmlDatabase:
     def admission(self):
         return self._admission
 
-    def explain(self, path):
-        """The query engine's plan description for ``path``."""
-        return self._ensure_engine().explain(path)
+    def explain(self, path, analyze=False, runtime=None):
+        """The query engine's plan description for ``path``.
+
+        ``analyze=True`` executes the query under a fresh profile and
+        appends the measured per-operator actuals (EXPLAIN ANALYZE).
+        """
+        return self._ensure_engine().explain(path, analyze=analyze,
+                                             runtime=runtime)
+
+    # -- observability -------------------------------------------------------
+
+    def configure_observability(self, trace=None, slow_query_seconds=_KEEP):
+        """Adjust the hub in place: enable/disable tracing, set the
+        slow-query threshold (``None`` disables the log, ``0.0`` logs
+        every query).  Returns the hub."""
+        hub = self.observability
+        if trace is True:
+            hub.tracer.enable()
+        elif trace is False:
+            hub.tracer.disable()
+        if slow_query_seconds is not _KEEP:
+            hub.slow_query_seconds = slow_query_seconds
+        return hub
+
+    def metrics(self):
+        """One flat metrics snapshot: name → value (collectors refreshed).
+
+        Covers the query-level instruments plus gauges mirroring every
+        subsystem's counters (buffer pool, index-manager handle cache,
+        admission control, crash recovery, integrity scrubbing).
+        """
+        return self.observability.snapshot()
+
+    def metrics_text(self):
+        """The Prometheus-style text exposition of :meth:`metrics`."""
+        return self.observability.render_prometheus()
+
+    def slow_queries(self):
+        """Retained slow-query log entries, oldest first."""
+        return self.observability.slow_queries()
+
+    def stats(self):
+        """Every subsystem's counters in one nested dict.
+
+        Keys: ``buffer`` (pool hits/misses/evictions/...), ``indexes``
+        (handle-cache counters), ``admission`` (None until a controller
+        is attached), ``recovery`` (None for in-memory databases),
+        ``scrub`` (zeroes until the scrubber has run), ``queries`` (the
+        hub's query counters).
+        """
+        pool = self._context.pool.stats
+        index = self.index_stats
+        buffer_stats = {
+            "hits": pool.hits,
+            "misses": pool.misses,
+            "requests": pool.requests,
+            "hit_ratio": pool.hit_ratio,
+            "evictions": pool.evictions,
+            "writebacks": pool.writebacks,
+            "max_pinned": pool.max_pinned,
+        }
+        index_stats = {
+            "hits": index.hits,
+            "misses": index.misses,
+            "loads": index.loads,
+            "creations": index.creations,
+            "evictions": index.evictions,
+            "writebacks": index.writebacks,
+            "invalidations": index.invalidations,
+        }
+        admission = None
+        if self._admission is not None:
+            a = self._admission.stats
+            admission = {
+                "admitted": a.admitted,
+                "rejected": a.rejected,
+                "completed": a.completed,
+                "queued": a.queued,
+                "peak_active": a.peak_active,
+                "peak_waiting": a.peak_waiting,
+            }
+        recovery = None
+        if self.recovery_stats is not None:
+            r = self.recovery_stats
+            recovery = {
+                "clean": r.clean,
+                "replayed_groups": r.replayed_groups,
+                "replayed_pages": r.replayed_pages,
+                "discarded_groups": r.discarded_groups,
+                "free_pages_recovered": r.free_pages_recovered,
+                "leaked_pages": r.leaked_pages,
+            }
+        if self._scrubber is not None:
+            scrub = self._scrubber.stats()
+        else:
+            scrub = {"entries_checked": 0, "pages_read": 0, "clean": 0,
+                     "corrupt": 0, "quarantined": 0, "cycles_completed": 0}
+        snap = self.observability.snapshot()
+        queries = {
+            "total": snap["repro_queries_total"],
+            "errors": snap["repro_query_errors_total"],
+            "degraded": snap["repro_queries_degraded_total"],
+            "rows": snap["repro_query_rows_total"],
+            "slow": snap["repro_slow_queries_total"],
+        }
+        return {
+            "buffer": buffer_stats,
+            "indexes": index_stats,
+            "admission": admission,
+            "recovery": recovery,
+            "scrub": scrub,
+            "queries": queries,
+        }
+
+    def _register_collectors(self):
+        """Mirror every subsystem's counters into pull-refreshed gauges."""
+        m = self.observability.metrics
+        gauges = {}
+
+        def gauge(name, help_text):
+            gauges[name] = m.gauge(name, help_text)
+
+        gauge("repro_buffer_hits", "Buffer pool page hits")
+        gauge("repro_buffer_misses", "Buffer pool page misses")
+        gauge("repro_buffer_evictions", "Buffer pool evictions")
+        gauge("repro_buffer_writebacks", "Buffer pool writebacks")
+        gauge("repro_buffer_max_pinned", "Pinned-frame high-water mark")
+        gauge("repro_index_handle_hits", "Index handle-cache hits")
+        gauge("repro_index_handle_misses", "Index handle-cache misses")
+        gauge("repro_index_handle_loads", "Index catalog loads")
+        gauge("repro_index_handle_evictions", "Index handle evictions")
+        gauge("repro_index_handle_writebacks",
+              "Index metadata writebacks")
+        gauge("repro_admission_admitted", "Queries admitted")
+        gauge("repro_admission_rejected", "Queries rejected by admission")
+        gauge("repro_admission_peak_active",
+              "Admission concurrent-query high-water mark")
+        gauge("repro_recovery_replayed_groups",
+              "Journal groups replayed at open")
+        gauge("repro_recovery_discarded_groups",
+              "Incomplete journal groups discarded at open")
+        gauge("repro_scrub_entries_checked",
+              "Catalog entries verified by the scrubber (lifetime)")
+        gauge("repro_scrub_pages_read", "Cold pages read by the scrubber")
+        gauge("repro_scrub_corrupt",
+              "Catalog entries found corrupt (lifetime)")
+        gauge("repro_scrub_quarantined",
+              "Structures currently quarantined")
+
+        def refresh(_registry):
+            pool = self._context.pool.stats
+            gauges["repro_buffer_hits"].set(pool.hits)
+            gauges["repro_buffer_misses"].set(pool.misses)
+            gauges["repro_buffer_evictions"].set(pool.evictions)
+            gauges["repro_buffer_writebacks"].set(pool.writebacks)
+            gauges["repro_buffer_max_pinned"].set(pool.max_pinned)
+            index = self._indexes.stats
+            gauges["repro_index_handle_hits"].set(index.hits)
+            gauges["repro_index_handle_misses"].set(index.misses)
+            gauges["repro_index_handle_loads"].set(index.loads)
+            gauges["repro_index_handle_evictions"].set(index.evictions)
+            gauges["repro_index_handle_writebacks"].set(index.writebacks)
+            if self._admission is not None:
+                a = self._admission.stats
+                gauges["repro_admission_admitted"].set(a.admitted)
+                gauges["repro_admission_rejected"].set(a.rejected)
+                gauges["repro_admission_peak_active"].set(a.peak_active)
+            if self.recovery_stats is not None:
+                r = self.recovery_stats
+                gauges["repro_recovery_replayed_groups"].set(
+                    r.replayed_groups)
+                gauges["repro_recovery_discarded_groups"].set(
+                    r.discarded_groups)
+            if self._scrubber is not None:
+                s = self._scrubber.stats()
+                gauges["repro_scrub_entries_checked"].set(
+                    s["entries_checked"])
+                gauges["repro_scrub_pages_read"].set(s["pages_read"])
+                gauges["repro_scrub_corrupt"].set(s["corrupt"])
+                gauges["repro_scrub_quarantined"].set(s["quarantined"])
+
+        m.register_collector(refresh)
 
     def verify(self):
         """Check every stored index's structural invariants.

@@ -146,6 +146,11 @@ class StabList:
         ``after_start`` implements the FindAncestors variation XR-stack uses:
         records with ``start <= after_start`` are already on the caller's
         stack and are neither returned nor charged to the scan counter.
+
+        Counters exposing ``count_stab_page`` (:class:`~repro.joins.base.\
+        JoinStats` does) are additionally charged one unit per stab-list
+        page read — the directory page plus every chain page fetched —
+        which is the observable ``R`` term of Theorem 4.
         """
         node = self.node
         if not node.sl_head:
@@ -157,10 +162,14 @@ class StabList:
         ]
         if not candidates:
             return []
+        charge = (getattr(counter, "count_stab_page", None)
+                  if counter is not None else None)
+        if charge is not None and node.sl_dir:
+            charge(1)  # the ps-directory page read by _load_directory
         directory = self._load_directory()
         results = []
         for c in candidates:
-            for record in self._iter_psl_via(directory, c):
+            for record in self._iter_psl_via(directory, c, charge):
                 if record.start < point < record.end:
                     if after_start is None or record.start > after_start:
                         if counter is not None:
@@ -171,14 +180,20 @@ class StabList:
         results.sort(key=lambda r: r.start)
         return results
 
-    def _iter_psl_via(self, directory, key_index):
-        """Like :meth:`iter_psl` but reusing an already-loaded directory."""
+    def _iter_psl_via(self, directory, key_index, charge=None):
+        """Like :meth:`iter_psl` but reusing an already-loaded directory.
+
+        ``charge`` (optional) is called with 1 per chain page fetched —
+        stab-list page accounting for the caller's counter.
+        """
         low, high = self.node.psl_bounds(key_index)
         if not directory:
             return
         index = self._route(directory, low + 1)
         page_id = directory[index][1]
         while page_id:
+            if charge is not None:
+                charge(1)
             with self._pool.pinned(page_id) as page:
                 records = list(page.records)
                 page_id = page.next_id

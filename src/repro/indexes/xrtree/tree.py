@@ -145,6 +145,10 @@ class XRTree:
         restricts the result to children (FindChildren, Section 5.3).
         Worst-case I/O is ``O(log_F N + R/B)`` (Theorem 3).
         """
+        tracer = self.pool.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.event("index-op", op="find_descendants",
+                         start=ancestor_start, end=ancestor_end)
         results = []
         cursor = self.seek_after(ancestor_start)
         while not cursor.at_end:
@@ -172,6 +176,9 @@ class XRTree:
         the variant XR-stack uses to fetch "ancestors after the stack top".
         ``required_level`` restricts to the parent (FindParent, Section 5.3).
         """
+        tracer = self.pool.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.event("index-op", op="find_ancestors", point=point)
         if not self.root_id:
             return []
         results = []

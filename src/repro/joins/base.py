@@ -19,14 +19,31 @@ class JoinStats:
     cancellation and page quotas fire.  ``count`` itself never raises — it
     runs inside index operations while pages are pinned, where an
     exception would leak buffer-pool pins.
+
+    Skip accounting (the flip side of the headline metric):
+    ``ancestor_skips``/``descendant_skips`` count the *skip probes* the
+    index-backed joins issue — each one leaps the merge past elements that
+    are never scanned (XR-stack's FindAncestors leap and open-ended
+    FindDescendants probe, Anc_Des_B+'s containment and range skips).
+    ``stab_pages`` counts stab-list pages (directory and chain) read by
+    FindAncestors, charged via :meth:`count_stab_page` — the I/O behind
+    the ``R`` term of Theorem 4.  Both are incremented at probe sites, not
+    per element, so idle cost is zero.
     """
 
     elements_scanned: int = 0
     pairs: int = 0
+    ancestor_skips: int = 0
+    descendant_skips: int = 0
+    stab_pages: int = 0
     runtime: object = None
 
     def count(self, n=1):
         self.elements_scanned += n
+
+    def count_stab_page(self, n=1):
+        """Charge stab-list page reads (directory or chain pages)."""
+        self.stab_pages += n
 
     def checkpoint(self):
         """Guardrail checkpoint; call only where no page is pinned."""
@@ -36,6 +53,9 @@ class JoinStats:
     def merge(self, other):
         self.elements_scanned += other.elements_scanned
         self.pairs += other.pairs
+        self.ancestor_skips += other.ancestor_skips
+        self.descendant_skips += other.descendant_skips
+        self.stab_pages += other.stab_pages
 
 
 @dataclass

@@ -43,6 +43,7 @@ def bplus_join(atree, dtree, parent_child=False, collect=True, stats=None):
             else:
                 # CurD is not inside this ancestor, hence not inside any of
                 # its descendants either: skip them all with one probe.
+                stats.ancestor_skips += 1
                 a_cur = atree.seek_after(ancestor.end)
         else:
             stats.count(1)
@@ -52,6 +53,7 @@ def bplus_join(atree, dtree, parent_child=False, collect=True, stats=None):
             elif not a_cur.at_end:
                 # No open ancestors: descendants before the next candidate
                 # ancestor cannot match anything — skip them with a probe.
+                stats.descendant_skips += 1
                 d_cur = dtree.seek(a_cur.current.start)
             else:
                 break

@@ -51,6 +51,7 @@ def xr_stack_join(atree, dtree, parent_child=False, collect=True, stats=None):
             # only) but is a live candidate for *later* descendants, so it
             # must ride the stack rather than be leapt over.  The sink never
             # pairs it with its own element.
+            stats.ancestor_skips += 1
             a_cur = atree.seek(d.start)
             if not a_cur.at_end and a_cur.current.start == d.start:
                 stack.append(a_cur.current)
@@ -67,6 +68,7 @@ def xr_stack_join(atree, dtree, parent_child=False, collect=True, stats=None):
             elif not a_cur.at_end:
                 # Line 19: leap CurD to the first start after CurA.start via
                 # an open-ended FindDescendants range probe.
+                stats.descendant_skips += 1
                 d_cur = dtree.seek_after(a_cur.current.start)
             else:
                 break

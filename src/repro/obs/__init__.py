@@ -1,0 +1,136 @@
+"""Unified observability: tracing, metrics, and query profiles.
+
+Three pillars, one subsystem (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.trace` — a low-overhead structured :class:`Tracer`
+  (query → plan → join operator → index op → page fetch spans/events) in a
+  bounded ring with JSONL export;
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and fixed-bucket histograms with a Prometheus-style exposition;
+* :mod:`repro.obs.profile` — per-query :class:`QueryProfile` actuals
+  behind ``EXPLAIN ANALYZE``.
+
+:class:`Observability` is the per-database hub wiring the three together:
+it owns one tracer (disabled by default — the hot path pays a predicate
+check), one registry pre-seeded with the query-level instruments, and a
+bounded slow-query log fed by :meth:`Observability.observe_query`, which
+the query engine calls once per evaluation.
+"""
+
+import time
+from collections import deque
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_PAGE_IO_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+from repro.obs.profile import OperatorProfile, QueryProfile
+from repro.obs.trace import (
+    DEFAULT_TRACE_CAPACITY,
+    NULL_SPAN,
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+)
+
+#: Slow-query log entries kept (oldest evicted first).
+DEFAULT_SLOW_LOG_CAPACITY = 128
+
+
+class Observability:
+    """One database's tracer, metrics registry and slow-query log.
+
+    ``slow_query_seconds`` is the slow-log threshold (None disables the
+    log; ``0.0`` logs every query).  The tracer starts disabled; call
+    ``hub.tracer.enable()`` (or pass an enabled one) to start recording.
+    """
+
+    def __init__(self, tracer=None, metrics=None, slow_query_seconds=None,
+                 slow_query_capacity=DEFAULT_SLOW_LOG_CAPACITY):
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.slow_query_seconds = slow_query_seconds
+        self._slow_queries = deque(maxlen=slow_query_capacity)
+        m = self.metrics
+        self._queries = m.counter(
+            "repro_queries_total", "Queries evaluated")
+        self._errors = m.counter(
+            "repro_query_errors_total", "Queries that raised")
+        self._degraded = m.counter(
+            "repro_queries_degraded_total",
+            "Queries completed on the degraded (stack-tree) plan")
+        self._rows = m.counter(
+            "repro_query_rows_total", "Result rows returned")
+        self._slow = m.counter(
+            "repro_slow_queries_total", "Queries over the slow threshold")
+        self._seconds = m.histogram(
+            "repro_query_seconds", "Query wall time (seconds)",
+            buckets=DEFAULT_LATENCY_BUCKETS)
+        self._pages = m.histogram(
+            "repro_query_pages",
+            "Logical page requests (hits + misses) per query",
+            buckets=DEFAULT_PAGE_IO_BUCKETS)
+
+    # -- feeding ---------------------------------------------------------------
+
+    def observe_query(self, path, seconds, pages, rows, degraded=False,
+                      error=None):
+        """Record one finished (or failed) query evaluation."""
+        self._queries.inc()
+        if error is not None:
+            self._errors.inc()
+        if degraded:
+            self._degraded.inc()
+        self._rows.inc(rows)
+        self._seconds.observe(seconds)
+        self._pages.observe(pages)
+        threshold = self.slow_query_seconds
+        if threshold is not None and seconds >= threshold:
+            self._slow.inc()
+            self._slow_queries.append({
+                "path": str(path),
+                "seconds": seconds,
+                "pages": pages,
+                "rows": rows,
+                "degraded": degraded,
+                "error": error,
+                "logged_at": time.time(),
+            })
+
+    # -- reading ---------------------------------------------------------------
+
+    def slow_queries(self):
+        """The retained slow-query entries, oldest first (list of dicts)."""
+        return list(self._slow_queries)
+
+    def snapshot(self):
+        """The registry snapshot (collectors refreshed)."""
+        return self.metrics.snapshot()
+
+    def render_prometheus(self):
+        return self.metrics.render_prometheus()
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_PAGE_IO_BUCKETS",
+    "DEFAULT_SLOW_LOG_CAPACITY",
+    "DEFAULT_TRACE_CAPACITY",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Observability",
+    "OperatorProfile",
+    "QueryProfile",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+]

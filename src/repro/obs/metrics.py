@@ -1,0 +1,243 @@
+"""A metrics registry: named counters, gauges and fixed-bucket histograms.
+
+Before this module the system's counters were per-subsystem islands —
+``BufferStats`` on the pool, ``IndexManagerStats`` on the handle cache,
+``AdmissionStats`` on the controller, recovery and scrub reports on their
+owners — each with its own field names and no single place to read them
+all.  :class:`MetricsRegistry` is that place: one namespace of named
+instruments plus *collectors* (pull callbacks that refresh gauges from the
+existing stats objects at snapshot time), so the islands keep their cheap
+in-place increments and the registry pays only at read time.
+
+Three instrument kinds, Prometheus-shaped:
+
+* :class:`Counter` — a monotonically increasing total (``inc``);
+* :class:`Gauge` — a point-in-time value (``set``);
+* :class:`Histogram` — observations bucketed by fixed upper edges
+  (cumulative ``le`` semantics: an observation lands in every bucket
+  whose edge is >= the value, plus the implicit ``+Inf``).
+
+``snapshot()`` returns one plain dict (JSON-friendly);
+``render_prometheus()`` emits the text exposition format, so a scrape
+endpoint is one ``write()`` away.
+"""
+
+import math
+import re
+import threading
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Default latency bucket edges in seconds (sub-millisecond to seconds).
+DEFAULT_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+#: Default logical page-I/O bucket edges (requests per query).
+DEFAULT_PAGE_IO_BUCKETS = (4, 16, 64, 256, 1024, 4096, 16384, 65536)
+
+
+class MetricsError(Exception):
+    """Registry misuse: bad names, kind conflicts, bad bucket edges."""
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name, help=""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise MetricsError("counter %r cannot decrease" % self.name)
+        self.value += amount
+
+    def snapshot_value(self):
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (settable both ways)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name, help=""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def dec(self, amount=1):
+        self.value -= amount
+
+    def snapshot_value(self):
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative ``le`` semantics.
+
+    ``buckets`` are the finite upper edges, strictly ascending; an
+    implicit ``+Inf`` bucket catches the rest.  ``bucket_counts`` are
+    *per-bucket* (non-cumulative) counts, one per finite edge plus the
+    overflow slot; ``cumulative()`` derives the Prometheus view.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "buckets", "bucket_counts", "sum", "count")
+
+    def __init__(self, name, help="", buckets=DEFAULT_LATENCY_BUCKETS):
+        edges = tuple(float(edge) for edge in buckets)
+        if not edges:
+            raise MetricsError("histogram %r needs at least one bucket"
+                               % name)
+        if any(earlier >= later
+               for earlier, later in zip(edges, edges[1:])):
+            raise MetricsError(
+                "histogram %r bucket edges must be strictly ascending: %r"
+                % (name, edges)
+            )
+        if any(math.isinf(edge) or math.isnan(edge) for edge in edges):
+            raise MetricsError(
+                "histogram %r edges must be finite (the +Inf bucket is "
+                "implicit)" % name
+            )
+        self.name = name
+        self.help = help
+        self.buckets = edges
+        self.bucket_counts = [0] * (len(edges) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value):
+        """Record one observation (``value <= edge`` lands in that bucket)."""
+        self.sum += value
+        self.count += 1
+        for index, edge in enumerate(self.buckets):
+            if value <= edge:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def cumulative(self):
+        """``[(upper_edge, cumulative_count), ...]`` ending with +Inf."""
+        running = 0
+        out = []
+        for edge, count in zip(self.buckets, self.bucket_counts):
+            running += count
+            out.append((edge, running))
+        out.append((float("inf"), running + self.bucket_counts[-1]))
+        return out
+
+    def snapshot_value(self):
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": [[edge, count] for edge, count in self.cumulative()],
+        }
+
+
+class MetricsRegistry:
+    """One namespace of instruments plus pull-time collectors.
+
+    ``counter``/``gauge``/``histogram`` get-or-create by name (re-requesting
+    an existing name returns the same instrument; a kind conflict raises).
+    ``register_collector(fn)`` adds a callback invoked with the registry at
+    the start of every :meth:`snapshot` / :meth:`render_prometheus`, which
+    is how existing stats objects are absorbed without rewriting their
+    increment sites.
+    """
+
+    def __init__(self):
+        self._instruments = {}
+        self._collectors = []
+        self._lock = threading.Lock()
+
+    # -- instrument creation ---------------------------------------------------
+
+    def _get_or_create(self, cls, name, help, **options):
+        if not _NAME_RE.match(name or ""):
+            raise MetricsError("invalid metric name %r" % (name,))
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is not None:
+                if not isinstance(instrument, cls):
+                    raise MetricsError(
+                        "metric %r already registered as a %s"
+                        % (name, instrument.kind)
+                    )
+                return instrument
+            instrument = cls(name, help, **options)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name, help=""):
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name, help=""):
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name, help="", buckets=DEFAULT_LATENCY_BUCKETS):
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def register_collector(self, fn):
+        """Add a pull callback ``fn(registry)`` run before every snapshot."""
+        self._collectors.append(fn)
+        return fn
+
+    # -- reading ---------------------------------------------------------------
+
+    def collect(self):
+        """Run every registered collector (refreshing pull-based gauges)."""
+        for fn in self._collectors:
+            fn(self)
+
+    def names(self):
+        return sorted(self._instruments)
+
+    def get(self, name):
+        return self._instruments.get(name)
+
+    def snapshot(self):
+        """One plain dict: name → number (counter/gauge) or histogram dict."""
+        self.collect()
+        return {name: instrument.snapshot_value()
+                for name, instrument in sorted(self._instruments.items())}
+
+    def render_prometheus(self):
+        """The text exposition format (one block per instrument)."""
+        self.collect()
+        lines = []
+        for name, instrument in sorted(self._instruments.items()):
+            if instrument.help:
+                lines.append("# HELP %s %s" % (name, instrument.help))
+            lines.append("# TYPE %s %s" % (name, instrument.kind))
+            if instrument.kind == "histogram":
+                for edge, count in instrument.cumulative():
+                    label = "+Inf" if math.isinf(edge) else _format(edge)
+                    lines.append('%s_bucket{le="%s"} %d'
+                                 % (name, label, count))
+                lines.append("%s_sum %s" % (name, _format(instrument.sum)))
+                lines.append("%s_count %d" % (name, instrument.count))
+            else:
+                lines.append("%s %s" % (name, _format(instrument.value)))
+        return "\n".join(lines) + "\n"
+
+
+def _format(value):
+    """Render a metric number without trailing float noise."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)

@@ -1,0 +1,263 @@
+"""Structured tracing: nested spans and point events in a bounded ring.
+
+The paper's cost claims are *per-operation* claims — one ``FindAncestors``
+probe costs ``O(log_F N + R)`` I/Os — so proving them in a running system
+needs the causal chain from a query down to the individual page fetch.
+:class:`Tracer` records that chain as structured events:
+
+    query  →  plan  →  join operator  →  index op  →  page fetch
+
+Spans (``tracer.span(kind, **fields)``) nest via a context-manager API and
+emit a *begin* record on entry and an *end* record (with ``dur``) on exit;
+point events (``tracer.event(kind, **fields)``) attach to the innermost
+open span.  Records land in a bounded ring buffer — a fixed-capacity
+overwrite ring, so a tracer left enabled forever costs bounded memory and
+the newest records always survive (``dropped`` counts the overwritten
+ones).
+
+Cost discipline: a **disabled tracer is a no-op costing one predicate
+check**.  Instrumentation sites follow the pattern::
+
+    if tracer is not None and tracer.enabled:
+        tracer.event("page-fetch", page=page_id, hit=True)
+
+so the hot path pays a single attribute load and branch.  ``span()`` on a
+disabled tracer returns one shared null span object (no allocation).
+
+Export is JSONL (:meth:`Tracer.export_jsonl`): one JSON object per line,
+first a ``trace-meta`` header (schema version, capacity, dropped count),
+then the ring's records oldest-first.  The schema is documented in
+``docs/OBSERVABILITY.md`` and machine-checked by :mod:`repro.obs.validate`.
+"""
+
+import io
+import json
+import threading
+import time
+
+#: Schema version stamped on every record (bump on incompatible change).
+TRACE_SCHEMA_VERSION = 1
+
+#: Default ring capacity (records, not bytes).
+DEFAULT_TRACE_CAPACITY = 4096
+
+#: Record phases.
+PHASES = ("begin", "end", "event", "meta")
+
+
+class _NullSpan:
+    """The shared span returned by a disabled tracer — a pure no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def note(self, **fields):
+        """Ignore attached fields (the enabled variant records them)."""
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One open span: emits *begin* on ``__enter__``, *end* on ``__exit__``.
+
+    ``note(**fields)`` attaches fields after the fact; they ride the end
+    record (e.g. result sizes known only when the operation finishes).
+    """
+
+    __slots__ = ("_tracer", "kind", "span_id", "parent_id", "fields",
+                 "_started")
+
+    def __init__(self, tracer, kind, parent_id, fields):
+        self._tracer = tracer
+        self.kind = kind
+        self.span_id = tracer._next_span_id()
+        self.parent_id = parent_id
+        self.fields = fields
+        self._started = None
+
+    def note(self, **fields):
+        self.fields.update(fields)
+
+    def __enter__(self):
+        tracer = self._tracer
+        self._started = tracer._now()
+        tracer._push(self)
+        tracer._emit(self.kind, "begin", self.span_id, self.parent_id,
+                     dict(self.fields), None)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        tracer = self._tracer
+        duration = tracer._now() - self._started
+        if exc_type is not None:
+            self.fields["error"] = exc_type.__name__
+        tracer._pop(self)
+        tracer._emit(self.kind, "end", self.span_id, self.parent_id,
+                     dict(self.fields), duration)
+        return False
+
+
+class Tracer:
+    """A bounded-ring structured-event recorder.
+
+    ``capacity`` bounds resident records; when full, the oldest record is
+    overwritten and ``dropped`` incremented.  ``enabled`` gates every
+    entry point: a disabled tracer's :meth:`span` returns the shared
+    :data:`NULL_SPAN` and :meth:`event` returns immediately.
+
+    Timestamps (``ts``) are seconds since the tracer was created, from a
+    monotonic clock — stable across records, meaningless across tracers.
+    The span stack is thread-local (each thread nests its own spans); the
+    ring itself is guarded by a lock so concurrent emitters interleave
+    safely.
+    """
+
+    def __init__(self, capacity=DEFAULT_TRACE_CAPACITY, enabled=True):
+        if capacity < 1:
+            raise ValueError("tracer capacity must be at least 1")
+        self.capacity = capacity
+        self.enabled = enabled
+        self.dropped = 0
+        self.emitted = 0
+        self._epoch = time.monotonic()
+        self._ring = []
+        self._write = 0          # next overwrite slot once the ring is full
+        self._span_counter = 0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- recording -----------------------------------------------------------
+
+    def enable(self):
+        self.enabled = True
+
+    def disable(self):
+        self.enabled = False
+
+    def span(self, kind, **fields):
+        """A nested span context manager (or the null span when disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, kind, self._current_span_id(), fields)
+
+    def event(self, kind, **fields):
+        """A point event attached to the innermost open span."""
+        if not self.enabled:
+            return
+        self._emit(kind, "event", None, self._current_span_id(), fields,
+                   None)
+
+    # -- ring access ---------------------------------------------------------
+
+    def records(self):
+        """The resident records, oldest first (list of dicts)."""
+        with self._lock:
+            if len(self._ring) < self.capacity:
+                return list(self._ring)
+            return self._ring[self._write:] + self._ring[:self._write]
+
+    def clear(self):
+        """Drop every record and reset the drop counter."""
+        with self._lock:
+            self._ring = []
+            self._write = 0
+            self.dropped = 0
+            self.emitted = 0
+
+    def __len__(self):
+        return len(self._ring)
+
+    def meta(self):
+        """The ``trace-meta`` header record describing this export."""
+        return {
+            "v": TRACE_SCHEMA_VERSION,
+            "kind": "trace-meta",
+            "phase": "meta",
+            "capacity": self.capacity,
+            "emitted": self.emitted,
+            "dropped": self.dropped,
+        }
+
+    def export_jsonl(self, target=None):
+        """Serialize the ring as JSONL: meta header, then records.
+
+        ``target`` may be a path or a writable text file object; with no
+        target the JSONL text is returned.
+        """
+        lines = [json.dumps(self.meta(), sort_keys=True)]
+        lines.extend(json.dumps(record, sort_keys=True)
+                     for record in self.records())
+        text = "\n".join(lines) + "\n"
+        if target is None:
+            return text
+        if isinstance(target, (str, bytes)):
+            with io.open(target, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        else:
+            target.write(text)
+        return None
+
+    # -- internals -----------------------------------------------------------
+
+    def _now(self):
+        return time.monotonic() - self._epoch
+
+    def _next_span_id(self):
+        with self._lock:
+            self._span_counter += 1
+            return self._span_counter
+
+    def _stack(self):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _current_span_id(self):
+        stack = self._stack()
+        return stack[-1].span_id if stack else None
+
+    def _push(self, span):
+        self._stack().append(span)
+
+    def _pop(self, span):
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # tolerate out-of-order exits
+            stack.remove(span)
+
+    def _emit(self, kind, phase, span_id, parent_id, fields, duration):
+        record = {
+            "v": TRACE_SCHEMA_VERSION,
+            "ts": round(self._now(), 9),
+            "kind": kind,
+            "phase": phase,
+        }
+        if span_id is not None:
+            record["span"] = span_id
+        if parent_id is not None:
+            record["parent"] = parent_id
+        if duration is not None:
+            record["dur"] = round(duration, 9)
+        if fields:
+            record["fields"] = fields
+        with self._lock:
+            self.emitted += 1
+            if len(self._ring) < self.capacity:
+                self._ring.append(record)
+            else:
+                self._ring[self._write] = record
+                self._write = (self._write + 1) % self.capacity
+                self.dropped += 1
+
+
+#: A module-level disabled tracer for call sites that want a never-None
+#: default without paying for a ring.
+NULL_TRACER = Tracer(capacity=1, enabled=False)

@@ -5,16 +5,21 @@ Usage::
     python -m repro.query "//employee[email]/name" --file doc.xml
     python -m repro.query "//employee//name" --generate 5000
     python -m repro.query "//employee//name" --generate 5000 --holistic
+    python -m repro.query "//employee//name" --generate 5000 --profile \
+        --trace-out trace.jsonl
 
 Evaluates the path with the XR-stack join pipeline (default), the no-index
 pipeline (``--strategy stack-tree``) or the holistic PathStack executor
 (``--holistic``, linear paths only) and prints matches plus execution
-statistics.
+statistics.  ``--profile`` prints the per-operator actuals (EXPLAIN
+ANALYZE); ``--trace-out FILE`` records the run with an enabled tracer and
+exports the span/event ring as JSONL.
 """
 
 import argparse
 import sys
 
+from repro.obs import Observability, QueryProfile, Tracer
 from repro.query.engine import PathQueryEngine
 from repro.query.pathstack import evaluate_path_stack
 from repro.xmldata.dtd import CONFERENCE_DTD, DEPARTMENT_DTD
@@ -41,6 +46,12 @@ def main(argv=None):
                         help="use the getNext-optimized TwigStack executor")
     parser.add_argument("--explain", action="store_true",
                         help="print the engine's plan before executing")
+    parser.add_argument("--profile", action="store_true",
+                        help="print per-operator actuals after executing "
+                             "(EXPLAIN ANALYZE)")
+    parser.add_argument("--trace-out", metavar="FILE",
+                        help="record the run with tracing enabled and "
+                             "export the trace ring as JSONL to FILE")
     parser.add_argument("--limit", type=int, default=10,
                         help="matches to print (default 10)")
     args = parser.parse_args(argv)
@@ -55,13 +66,18 @@ def main(argv=None):
         document = XmlGenerator(dtd, seed=args.seed).generate(args.generate)
     print(document_stats(document).describe())
 
+    observability = None
+    if args.trace_out:
+        observability = Observability(tracer=Tracer(enabled=True))
+    profile = QueryProfile() if args.profile else None
+
     if args.explain:
         engine = PathQueryEngine(document, strategy=args.strategy)
         print()
         print(engine.explain(args.path))
 
     if args.holistic:
-        result = evaluate_path_stack(document, args.path)
+        result = evaluate_path_stack(document, args.path, profile=profile)
         matches = result.last_elements()
         print("\n%s: %d path solutions, %d distinct matches, "
               "%d elements scanned"
@@ -78,8 +94,9 @@ def main(argv=None):
               % (args.path, solutions.count, len(matches),
                  solutions.stats.elements_scanned))
     else:
-        engine = PathQueryEngine(document, strategy=args.strategy)
-        result = engine.evaluate(args.path)
+        engine = PathQueryEngine(document, strategy=args.strategy,
+                                 observability=observability)
+        result = engine.evaluate(args.path, profile=profile)
         matches = result.matches
         print("\n%s: %d matches, %d joins, %d elements scanned"
               % (args.path, len(matches), result.joins_run,
@@ -89,6 +106,16 @@ def main(argv=None):
               % (match.start, match.end, match.level))
     if len(matches) > args.limit:
         print("  ... and %d more" % (len(matches) - args.limit))
+    if profile is not None:
+        if not profile.path:  # holistic runs don't stamp query-level fields
+            profile.path = args.path
+            profile.strategy = "path-stack"
+        print()
+        print(profile.render())
+    if observability is not None and args.trace_out:
+        observability.tracer.export_jsonl(args.trace_out)
+        print("\ntrace: %d records -> %s"
+              % (len(observability.tracer), args.trace_out))
     return 0
 
 

@@ -12,13 +12,17 @@ the pipeline is an XR-stack join; a ``strategy="stack-tree"`` escape hatch
 runs the pipeline on plain merged lists instead (useful for comparing plans).
 """
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.core.api import StorageContext, build_element_list, build_xr_tree
 from repro.joins import stack_tree_join, xr_stack_join
 from repro.joins.base import JoinStats
+from repro.obs.profile import QueryProfile
+from repro.obs.trace import NULL_SPAN
 from repro.query.path import AttributePredicate, Axis, parse_path
-from repro.query.runtime import PageQuotaExceeded
+from repro.query.runtime import PageQuotaExceeded, QueryContext
 from repro.storage.errors import ChecksumError
 
 
@@ -45,7 +49,9 @@ class QueryResult:
     ``degraded`` is True when the page quota tripped mid-evaluation and
     the engine completed the query on the streaming stack-tree plan
     instead (``degrade_reason`` names the trigger); ``runtime`` is the
-    governing :class:`~repro.query.runtime.QueryContext`, if any.
+    governing :class:`~repro.query.runtime.QueryContext`, if any;
+    ``profile`` is the :class:`~repro.obs.profile.QueryProfile` with
+    per-operator actuals, when one was attached.
     """
 
     path: str
@@ -55,6 +61,7 @@ class QueryResult:
     degraded: bool = False
     degrade_reason: str = None
     runtime: object = None
+    profile: object = None
 
     def __len__(self):
         return len(self.matches)
@@ -74,21 +81,31 @@ class PathQueryEngine:
     """
 
     def __init__(self, document, context=None, strategy="xr-stack",
-                 index_loader=None):
+                 index_loader=None, observability=None):
         """``index_loader(tag)`` may supply a pre-built XR-tree for a tag
         (e.g. one persisted in a catalog); return None to fall back to
-        building one from the document's entries."""
+        building one from the document's entries.
+
+        ``observability`` optionally attaches an
+        :class:`~repro.obs.Observability` hub: its tracer is wired to the
+        buffer pool (page-fetch events) and every evaluation feeds the
+        hub's query metrics and slow-query log.
+        """
         if strategy not in ("xr-stack", "stack-tree"):
             raise QueryError("unknown strategy %r" % strategy)
         self.document = document
         self.context = context or StorageContext()
         self.strategy = strategy
+        self.observability = observability
+        if observability is not None and self.context.pool.tracer is None:
+            self.context.pool.tracer = observability.tracer
         self._index_loader = index_loader
         self._tag_entries = {}
         self._tag_indexes = {}
         self._all_tags = None
         self._strategy_override = None
         self._active_tag = None
+        self._profile = None
 
     # -- element-set access -----------------------------------------------------
 
@@ -150,7 +167,7 @@ class PathQueryEngine:
 
     # -- evaluation -----------------------------------------------------------------
 
-    def evaluate(self, path, runtime=None):
+    def evaluate(self, path, runtime=None, profile=None):
         """Evaluate ``path`` (text or a parsed expression).
 
         Returns a :class:`QueryResult` whose matches are the elements bound
@@ -164,24 +181,83 @@ class PathQueryEngine:
         sequential list scans) with the quota rebased, and the result is
         marked ``degraded``.  If the streaming plan exhausts the quota
         too, :class:`~repro.query.runtime.PageQuotaExceeded` surfaces.
+
+        ``profile`` optionally attaches a :class:`~repro.obs.profile.\
+        QueryProfile` recording per-operator actuals (it may also ride in
+        on ``runtime.profile``); when an observability hub is wired, every
+        evaluation — including failed ones — feeds the query metrics.
         """
         expression = parse_path(path) if isinstance(path, str) else path
+        if profile is None and runtime is not None:
+            profile = runtime.profile
+        if profile is not None:
+            if not profile.path:
+                profile.path = str(expression)
+            if not profile.strategy:
+                profile.strategy = self.strategy
+        obs = self.observability
+        tracer = obs.tracer if obs is not None else None
+        span = (tracer.span("query", path=str(expression),
+                            strategy=self.strategy)
+                if tracer is not None else NULL_SPAN)
+        pool = self.context.pool
+        base_hits = pool.stats.hits
+        base_misses = pool.stats.misses
+        started = time.perf_counter()
         if runtime is not None:
-            runtime.start(self.context.pool)
+            runtime.start(pool)
         try:
-            return self._evaluate_once(expression, runtime)
-        except PageQuotaExceeded:
-            if (runtime is None or not runtime.allow_degraded
-                    or runtime.degraded or self.strategy != "xr-stack"):
-                raise
-            runtime.enter_degraded("page-quota")
-            result = self._evaluate_once(expression, runtime,
-                                         strategy="stack-tree")
-            result.degraded = True
-            result.degrade_reason = "page-quota"
-            return result
+            with span:
+                try:
+                    result = self._evaluate_once(expression, runtime,
+                                                 profile=profile)
+                except PageQuotaExceeded:
+                    if (runtime is None or not runtime.allow_degraded
+                            or runtime.degraded
+                            or self.strategy != "xr-stack"):
+                        raise
+                    runtime.enter_degraded("page-quota")
+                    if tracer is not None and tracer.enabled:
+                        tracer.event("degrade", reason="page-quota",
+                                     fallback="stack-tree")
+                    if profile is not None:
+                        profile.degraded = True
+                    result = self._evaluate_once(expression, runtime,
+                                                 strategy="stack-tree",
+                                                 profile=profile)
+                    result.degraded = True
+                    result.degrade_reason = "page-quota"
+        except Exception as exc:
+            self._finish_query(expression, profile, started, base_hits,
+                               base_misses, rows=0, degraded=False,
+                               error=type(exc).__name__)
+            raise
+        self._finish_query(expression, profile, started, base_hits,
+                           base_misses, rows=len(result),
+                           degraded=result.degraded, error=None)
+        return result
 
-    def _evaluate_once(self, expression, runtime=None, strategy=None):
+    def _finish_query(self, expression, profile, started, base_hits,
+                      base_misses, rows, degraded, error):
+        """Stamp query-level totals on the profile and feed the metrics."""
+        seconds = time.perf_counter() - started
+        stats = self.context.pool.stats
+        hits = stats.hits - base_hits
+        misses = stats.misses - base_misses
+        if profile is not None:
+            profile.wall_seconds += seconds
+            profile.page_hits += hits
+            profile.page_misses += misses
+            profile.page_requests += hits + misses
+            profile.rows = rows
+            profile.degraded = profile.degraded or degraded
+        obs = self.observability
+        if obs is not None:
+            obs.observe_query(str(expression), seconds, hits + misses,
+                              rows, degraded=degraded, error=error)
+
+    def _evaluate_once(self, expression, runtime=None, strategy=None,
+                       profile=None):
         """One evaluation pass under an optional forced strategy.
 
         A :class:`~repro.storage.errors.ChecksumError` escaping from deep
@@ -194,16 +270,28 @@ class PathQueryEngine:
         self._joins_run = 0
         self._strategy_override = strategy
         self._active_tag = None
+        self._profile = profile
+        obs = self.observability
+        tracer = obs.tracer if obs is not None else None
         try:
             steps = list(expression.steps)
+            if tracer is not None and tracer.enabled:
+                tracer.event("plan", strategy=self._current_strategy(),
+                             steps=len(steps), path=str(expression))
             first = steps[0]
             if first.axis.is_reverse:
                 raise QueryError("a path cannot start with a reverse axis")
             self._active_tag = first.tag
-            current = list(self.entries_for(first.tag))
-            if first.axis is Axis.CHILD:
-                # An absolute /tag step binds only root-level elements.
-                current = [e for e in current if e.level == 0]
+            with self._operator("scan //%s" % first.tag, "scan",
+                                "element-list", stats,
+                                tag=first.tag) as op:
+                current = list(self.entries_for(first.tag))
+                if first.axis is Axis.CHILD:
+                    # An absolute /tag step binds only root-level elements.
+                    current = [e for e in current if e.level == 0]
+                if op is not None:
+                    op.input_d = len(current)
+                    op.rows_out = len(current)
             current = self._apply_predicates(current, first, stats)
             for step in steps[1:]:
                 if not current:
@@ -222,31 +310,64 @@ class PathQueryEngine:
             ) from exc
         finally:
             self._strategy_override = None
+            self._profile = None
         return QueryResult(str(expression), current, stats, self._joins_run,
-                           runtime=runtime)
+                           runtime=runtime, profile=profile)
 
     def _current_strategy(self):
         """The strategy in force: a degradation override, else the default."""
         return self._strategy_override or self.strategy
+
+    @contextmanager
+    def _operator(self, name, kind, algorithm, stats, tag="",
+                  input_a=0, input_d=0):
+        """Record one executed operator: a profiler entry (when a profile
+        is armed) plus a tracer span (when tracing is enabled).  Yields the
+        :class:`~repro.obs.profile.OperatorProfile` — or None when no
+        profile is attached, so callers guard their ``rows_out`` stamp."""
+        obs = self.observability
+        tracer = obs.tracer if obs is not None else None
+        span = (tracer.span("operator", name=name, op=kind,
+                            algorithm=algorithm)
+                if tracer is not None else NULL_SPAN)
+        profile = self._profile
+        with span:
+            if profile is None:
+                yield None
+                return
+            with profile.operator(name, kind=kind, algorithm=algorithm,
+                                  tag=tag, input_a=input_a, input_d=input_d,
+                                  stats=stats,
+                                  pool=self.context.pool) as op:
+                yield op
+            span.note(rows=op.rows_out, pairs=op.pairs,
+                      pages=op.page_requests)
 
     def _reverse_step(self, context, step, stats):
         """``parent::`` / ``ancestor::`` steps: one FindAncestors probe per
         context element against the target tag's XR-tree — the Section 5.1
         primitives driving navigation *up* the tree."""
         tree = self.index_for(step.tag)
-        seen = set()
-        out = []
-        for element in context:
-            stats.checkpoint()
-            required = (element.level - 1 if step.axis is Axis.PARENT
-                        else None)
-            found = tree.find_ancestors(element.start, counter=stats,
-                                        required_level=required)
-            for ancestor in found:
-                if ancestor.start not in seen:
-                    seen.add(ancestor.start)
-                    out.append(ancestor)
-        out.sort(key=lambda e: e.start)
+        axis_name = "parent" if step.axis is Axis.PARENT else "ancestor"
+        with self._operator("%s-probe //%s" % (axis_name, step.tag),
+                            "probe", "find-ancestors", stats, tag=step.tag,
+                            input_a=tree.size,
+                            input_d=len(context)) as op:
+            seen = set()
+            out = []
+            for element in context:
+                stats.checkpoint()
+                required = (element.level - 1 if step.axis is Axis.PARENT
+                            else None)
+                found = tree.find_ancestors(element.start, counter=stats,
+                                            required_level=required)
+                for ancestor in found:
+                    if ancestor.start not in seen:
+                        seen.add(ancestor.start)
+                        out.append(ancestor)
+            out.sort(key=lambda e: e.start)
+            if op is not None:
+                op.rows_out = len(out)
         return out
 
     # -- predicates (twig filters) ------------------------------------------------
@@ -273,16 +394,21 @@ class PathQueryEngine:
                 "attribute predicates need node access; this document "
                 "view does not provide node_at()"
             )
-        survivors = []
-        for element in matches:
-            stats.checkpoint()
-            stats.count(1)
-            node = node_at(element.ptr)
-            value = node.attributes.get(predicate.name)
-            if value is None:
-                continue
-            if predicate.value is None or value == predicate.value:
-                survivors.append(element)
+        with self._operator("filter [@%s]" % predicate.name, "filter",
+                            "value-lookup", stats,
+                            input_d=len(matches)) as op:
+            survivors = []
+            for element in matches:
+                stats.checkpoint()
+                stats.count(1)
+                node = node_at(element.ptr)
+                value = node.attributes.get(predicate.name)
+                if value is None:
+                    continue
+                if predicate.value is None or value == predicate.value:
+                    survivors.append(element)
+            if op is not None:
+                op.rows_out = len(survivors)
         return survivors
 
     def _filter_exists(self, context, predicate, stats):
@@ -313,33 +439,49 @@ class PathQueryEngine:
         parent_child = axis is Axis.CHILD
         ancestors = sorted(ancestors, key=lambda e: e.start)
         descendants = sorted(descendants, key=lambda e: e.start)
-        if self._current_strategy() == "xr-stack":
-            a_tree = build_xr_tree(ancestors, self.context.pool)
-            d_tree = build_xr_tree(descendants, self.context.pool)
-            pairs, _ = xr_stack_join(a_tree, d_tree,
-                                     parent_child=parent_child, stats=stats)
-        else:
-            a_list = build_element_list(ancestors, self.context.pool)
-            d_list = build_element_list(descendants, self.context.pool)
-            pairs, _ = stack_tree_join(a_list, d_list,
-                                       parent_child=parent_child,
-                                       stats=stats)
-        seen = set()
-        survivors = []
-        for ancestor, _descendant in pairs:
-            if ancestor.start not in seen:
-                seen.add(ancestor.start)
-                survivors.append(ancestor)
-        survivors.sort(key=lambda e: e.start)
+        algorithm = self._current_strategy()
+        name = "semi-join (%s)" % ("child" if parent_child
+                                   else "descendant")
+        with self._operator(name, "semi-join", algorithm, stats,
+                            input_a=len(ancestors),
+                            input_d=len(descendants)) as op:
+            if algorithm == "xr-stack":
+                a_tree = build_xr_tree(ancestors, self.context.pool)
+                d_tree = build_xr_tree(descendants, self.context.pool)
+                pairs, _ = xr_stack_join(a_tree, d_tree,
+                                         parent_child=parent_child,
+                                         stats=stats)
+            else:
+                a_list = build_element_list(ancestors, self.context.pool)
+                d_list = build_element_list(descendants, self.context.pool)
+                pairs, _ = stack_tree_join(a_list, d_list,
+                                           parent_child=parent_child,
+                                           stats=stats)
+            seen = set()
+            survivors = []
+            for ancestor, _descendant in pairs:
+                if ancestor.start not in seen:
+                    seen.add(ancestor.start)
+                    survivors.append(ancestor)
+            survivors.sort(key=lambda e: e.start)
+            if op is not None:
+                op.rows_out = len(survivors)
         return survivors
 
-    def explain(self, path):
-        """Describe, without executing joins, how ``path`` would run.
+    def explain(self, path, analyze=False, runtime=None):
+        """Describe how ``path`` would run — and, with ``analyze=True``,
+        how it *did* run.
 
         Returns a multi-line plan: one line per binary structural join or
         predicate filter, with the element-set sizes the engine would feed
         each operator and the estimated join cardinalities (sampled — see
         :mod:`repro.query.estimate`).
+
+        ``analyze=True`` additionally executes the query under a fresh
+        :class:`~repro.obs.profile.QueryProfile` (governed by ``runtime``
+        when given) and appends the per-operator actuals, with the
+        sampled estimate shown beside each join's measured pair count —
+        EXPLAIN ANALYZE.  Without ``analyze`` no join is executed.
         """
         from repro.query.estimate import estimate_join
 
@@ -352,9 +494,11 @@ class PathQueryEngine:
         lines.extend(self._explain_predicates(steps[0], indent="  "))
         previous_tag = steps[0].tag
         previous_entries = self.entries_for(steps[0].tag)
+        step_estimates = []  # one entry per non-first step; None for probes
         for step in steps[1:]:
             entries = self.entries_for(step.tag)
             if step.axis.is_reverse:
+                step_estimates.append(None)
                 lines.append(
                     "  %s-probe into %s (%d): FindAncestors per match"
                     % ("parent" if step.axis.name == "PARENT"
@@ -368,6 +512,7 @@ class PathQueryEngine:
                 previous_entries, entries,
                 parent_child=step.axis is Axis.CHILD,
             )
+            step_estimates.append(estimate)
             lines.append(
                 "  %s-join %s (%d) with %s (%d) -> ~%d pairs, "
                 "~%d%% of %s match"
@@ -379,7 +524,22 @@ class PathQueryEngine:
             lines.extend(self._explain_predicates(step, indent="  "))
             previous_tag = step.tag
             previous_entries = entries
-        return "\n".join(lines)
+        if not analyze:
+            return "\n".join(lines)
+        profile = QueryProfile(str(expression), self.strategy)
+        if runtime is None:
+            runtime = QueryContext()
+        runtime.profile = profile
+        self.evaluate(expression, runtime=runtime)
+        # Match sampled estimates to the executed step operators in step
+        # order (scan/filter/semi-join operators are interleaved but keep
+        # their own kinds, so only join/probe entries consume a step).
+        step_ops = [op for op in profile.operators
+                    if op.kind in ("join", "probe")]
+        for op, estimate in zip(step_ops, step_estimates):
+            if estimate is not None and op.kind == "join":
+                op.est_pairs = estimate.pairs
+        return "\n".join(lines) + "\n\n" + profile.render()
 
     def _explain_predicates(self, step, indent):
         from repro.query.path import render_predicate
@@ -401,25 +561,38 @@ class PathQueryEngine:
         descendants = self.entries_for(step.tag)
         if not descendants:
             return []
-        if self._current_strategy() == "xr-stack":
-            a_tree = build_xr_tree(sorted(ancestors, key=lambda e: e.start),
-                                   self.context.pool)
-            d_tree = self.index_for(step.tag)
-            pairs, _ = xr_stack_join(a_tree, d_tree,
-                                     parent_child=parent_child, stats=stats)
-        else:
-            a_list = build_element_list(
-                sorted(ancestors, key=lambda e: e.start), self.context.pool
-            )
-            d_list = build_element_list(descendants, self.context.pool)
-            pairs, _ = stack_tree_join(a_list, d_list,
-                                       parent_child=parent_child, stats=stats)
-        # Distinct matched descendants, in document order.
-        seen = set()
-        matched = []
-        for _, descendant in pairs:
-            if descendant.start not in seen:
-                seen.add(descendant.start)
-                matched.append(descendant)
-        matched.sort(key=lambda e: e.start)
+        algorithm = self._current_strategy()
+        name = "%s-join //%s" % ("child" if parent_child else "descendant",
+                                 step.tag)
+        with self._operator(name, "join", algorithm, stats, tag=step.tag,
+                            input_a=len(ancestors),
+                            input_d=len(descendants)) as op:
+            if algorithm == "xr-stack":
+                a_tree = build_xr_tree(
+                    sorted(ancestors, key=lambda e: e.start),
+                    self.context.pool,
+                )
+                d_tree = self.index_for(step.tag)
+                pairs, _ = xr_stack_join(a_tree, d_tree,
+                                         parent_child=parent_child,
+                                         stats=stats)
+            else:
+                a_list = build_element_list(
+                    sorted(ancestors, key=lambda e: e.start),
+                    self.context.pool,
+                )
+                d_list = build_element_list(descendants, self.context.pool)
+                pairs, _ = stack_tree_join(a_list, d_list,
+                                           parent_child=parent_child,
+                                           stats=stats)
+            # Distinct matched descendants, in document order.
+            seen = set()
+            matched = []
+            for _, descendant in pairs:
+                if descendant.start not in seen:
+                    seen.add(descendant.start)
+                    matched.append(descendant)
+            matched.sort(key=lambda e: e.start)
+            if op is not None:
+                op.rows_out = len(matched)
         return matched

@@ -164,11 +164,13 @@ def _expand_solutions(stacks, axes, leaf_element, result, collect):
     _recurse(n - 2, leaf_frame[1], [leaf_element])
 
 
-def evaluate_path_stack(document, path, collect=True):
+def evaluate_path_stack(document, path, collect=True, profile=None):
     """Convenience wrapper: run PathStack for ``path`` over ``document``.
 
     Only predicate-free linear paths are supported (PathStack's domain);
     use :class:`~repro.query.engine.PathQueryEngine` for twigs.
+    ``profile`` optionally records the pass as one ``"holistic"``
+    operator on a :class:`~repro.obs.profile.QueryProfile`.
     """
     expression = parse_path(path) if isinstance(path, str) else path
     if any(step.predicates for step in expression.steps):
@@ -184,6 +186,15 @@ def evaluate_path_stack(document, path, collect=True):
             entries = [e for e in entries if e.level == 0]
         streams.append(entries)
     axes = [step.axis for step in expression.steps]
-    result = path_stack(streams, axes, collect=collect)
+    if profile is not None:
+        stats = JoinStats()
+        with profile.operator("path-stack %s" % expression, "holistic",
+                              algorithm="path-stack",
+                              input_d=sum(len(s) for s in streams),
+                              stats=stats) as op:
+            result = path_stack(streams, axes, collect=collect, stats=stats)
+            op.rows_out = result.count
+    else:
+        result = path_stack(streams, axes, collect=collect)
     result.path = str(expression)
     return result

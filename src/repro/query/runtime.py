@@ -126,11 +126,18 @@ class QueryContext:
     ``row_cap`` bounds emitted join output pairs.  ``allow_degraded``
     permits the engine's one-shot fallback to a streaming plan when the
     page quota trips.
+
+    ``profile`` optionally attaches a :class:`~repro.obs.profile.\
+    QueryProfile`: every join driver governed by this context records its
+    per-operator actuals (wall time, logical page fetches, stab-list
+    pages, skip counts) there — the mechanism behind
+    ``explain(path, analyze=True)``.  The context itself never touches
+    the profile; it only carries it to the engine.
     """
 
     def __init__(self, deadline=None, page_budget=None, row_cap=None,
                  token=None, check_every=DEFAULT_CHECK_EVERY,
-                 allow_degraded=True):
+                 allow_degraded=True, profile=None):
         if deadline is not None and deadline <= 0:
             raise ValueError("deadline must be positive")
         if page_budget is not None and page_budget < 1:
@@ -145,6 +152,7 @@ class QueryContext:
         self.token = token
         self.check_every = check_every
         self.allow_degraded = allow_degraded
+        self.profile = profile
         self.degraded = False
         self.degrade_reason = None
         self._pool = None

@@ -391,18 +391,30 @@ def twig_stack_join(entry_source, root, collect=True, stats=None):
     return result
 
 
-def evaluate_twig(document, path, collect=True, runtime=None):
+def evaluate_twig(document, path, collect=True, runtime=None, profile=None):
     """Convenience wrapper: match ``path`` (with predicates) holistically.
 
     Returns ``(solutions, output_node_index)`` — the output node is the last
     trunk step, whose distinct bindings equal the pipeline engine's matches.
     ``runtime`` optionally attaches a :class:`~repro.query.runtime.\
-    QueryContext` so the holistic pass honours deadlines and cancellation.
+    QueryContext` so the holistic pass honours deadlines and cancellation;
+    ``profile`` (or ``runtime.profile``) records the pass as one
+    ``"holistic"`` operator.
     """
     root, output = twig_from_path(path)
     stats = JoinStats()
     if runtime is not None:
         stats.runtime = runtime.start()
-    solutions = twig_join(document.entries_for_tag, root, collect=collect,
-                          stats=stats)
+        if profile is None:
+            profile = runtime.profile
+    if profile is not None:
+        with profile.operator("twig-stack %s" % path, "holistic",
+                              algorithm="twig-stack",
+                              stats=stats) as op:
+            solutions = twig_join(document.entries_for_tag, root,
+                                  collect=collect, stats=stats)
+            op.rows_out = solutions.count
+    else:
+        solutions = twig_join(document.entries_for_tag, root,
+                              collect=collect, stats=stats)
     return solutions, output.index

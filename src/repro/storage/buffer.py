@@ -166,6 +166,10 @@ class BufferPool:
         self.capacity = capacity
         self.policy_name = policy
         self.stats = BufferStats()
+        #: Optional :class:`~repro.obs.trace.Tracer`; when attached and
+        #: enabled, every fetch emits a ``page-fetch`` event.  The default
+        #: (None) keeps the hot path at a single predicate check.
+        self.tracer = None
         self._policy = _POLICIES[policy]()
         self._frames = {}  # page_id -> Page
         self._pinned = 0   # frames with pin_count > 0 (kept incrementally)
@@ -184,12 +188,17 @@ class BufferPool:
         :class:`~repro.storage.errors.ChecksumError` (tagged with the page
         id) instead of silently decoding garbage.
         """
+        tracer = self.tracer
         page = self._frames.get(page_id)
         if page is not None:
             self.stats.hits += 1
+            if tracer is not None and tracer.enabled:
+                tracer.event("page-fetch", page=page_id, hit=True)
             self._policy.touched(page_id)
         else:
             self.stats.misses += 1
+            if tracer is not None and tracer.enabled:
+                tracer.event("page-fetch", page=page_id, hit=False)
             self._make_room()
             data = self.disk.read(page_id)
             try:

@@ -123,6 +123,13 @@ class IntegrityScrubber:
         self.quarantined = {}  # name -> reason string
         self._pending = []     # names left in the current cycle
         self.cycles_completed = 0
+        # Lifetime counters (scalar, so a long-running scrubber cannot
+        # accumulate unbounded per-entry lists the way a merged
+        # ScrubReport would).
+        self.total_entries_checked = 0
+        self.total_pages_read = 0
+        self.total_clean = 0
+        self.total_corrupt = 0
 
     # -- quarantine ----------------------------------------------------------
 
@@ -155,7 +162,7 @@ class IntegrityScrubber:
             self._pending = sorted(self._catalog.names())
         while self._pending:
             if budget is not None and report.pages_read >= budget:
-                return report
+                return self._account(report)
             name = self._pending.pop(0)
             if name in self.quarantined:
                 report.skipped.append(name)
@@ -163,7 +170,26 @@ class IntegrityScrubber:
             self._verify_one(name, report)
         report.cycle_complete = True
         self.cycles_completed += 1
+        return self._account(report)
+
+    def _account(self, report):
+        """Fold one step's report into the lifetime counters."""
+        self.total_entries_checked += report.entries_checked
+        self.total_pages_read += report.pages_read
+        self.total_clean += len(report.clean)
+        self.total_corrupt += len(report.corrupt)
         return report
+
+    def stats(self):
+        """Lifetime scrub counters as one plain dict."""
+        return {
+            "entries_checked": self.total_entries_checked,
+            "pages_read": self.total_pages_read,
+            "clean": self.total_clean,
+            "corrupt": self.total_corrupt,
+            "quarantined": len(self.quarantined),
+            "cycles_completed": self.cycles_completed,
+        }
 
     def scrub_all(self):
         """One full catalog cycle regardless of the per-step budget."""

@@ -1,0 +1,123 @@
+"""MetricsRegistry behaviour: instruments, buckets, exposition, collectors."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_PAGE_IO_BUCKETS,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+
+
+def test_counter_and_gauge_basics():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_things_total", "things")
+    counter.inc()
+    counter.inc(4)
+    gauge = registry.gauge("repro_level")
+    gauge.set(7)
+    gauge.inc()
+    gauge.dec(3)
+    snap = registry.snapshot()
+    assert snap["repro_things_total"] == 5
+    assert snap["repro_level"] == 5
+
+
+def test_get_or_create_returns_same_instrument():
+    registry = MetricsRegistry()
+    assert registry.counter("repro_x") is registry.counter("repro_x")
+
+
+def test_kind_conflict_raises():
+    registry = MetricsRegistry()
+    registry.counter("repro_x")
+    with pytest.raises(MetricsError):
+        registry.gauge("repro_x")
+    with pytest.raises(MetricsError):
+        registry.histogram("repro_x")
+
+
+def test_invalid_names_rejected():
+    registry = MetricsRegistry()
+    for bad in ("", "9starts_with_digit", "has-dash", "has space"):
+        with pytest.raises(MetricsError):
+            registry.counter(bad)
+
+
+def test_histogram_bucket_edges_are_le_inclusive():
+    """A value equal to an edge lands in that edge's bucket (Prometheus
+    ``le`` semantics), one past it in the next."""
+    histogram = Histogram("repro_h", buckets=(1.0, 2.0, 5.0))
+    for value in (0.5, 1.0, 1.5, 2.0, 2.1, 5.0, 99.0):
+        histogram.observe(value)
+    # Per-bucket (non-cumulative): (<=1): 0.5, 1.0; (<=2): 1.5, 2.0;
+    # (<=5): 2.1, 5.0; overflow: 99.0
+    assert list(histogram.bucket_counts) == [2, 2, 2, 1]
+    cumulative = histogram.cumulative()
+    assert cumulative[0] == (1.0, 2)
+    assert cumulative[1] == (2.0, 4)
+    assert cumulative[2] == (5.0, 6)
+    assert cumulative[-1][1] == 7 and math.isinf(cumulative[-1][0])
+    assert histogram.count == 7
+    assert histogram.sum == pytest.approx(0.5 + 1.0 + 1.5 + 2.0 + 2.1
+                                          + 5.0 + 99.0)
+
+
+def test_histogram_rejects_bad_edges():
+    for bad in ((), (2.0, 1.0), (1.0, 1.0), (1.0, float("inf"))):
+        with pytest.raises(MetricsError):
+            Histogram("repro_h", buckets=bad)
+
+
+def test_default_bucket_families_are_ascending():
+    for buckets in (DEFAULT_LATENCY_BUCKETS, DEFAULT_PAGE_IO_BUCKETS):
+        assert list(buckets) == sorted(buckets)
+        assert len(set(buckets)) == len(buckets)
+
+
+def test_prometheus_exposition_format():
+    registry = MetricsRegistry()
+    registry.counter("repro_ops_total", "Operations").inc(3)
+    histogram = registry.histogram("repro_lat", "Latency",
+                                   buckets=(0.1, 1.0))
+    histogram.observe(0.05)
+    histogram.observe(0.5)
+    histogram.observe(2.0)
+    text = registry.render_prometheus()
+    assert "# HELP repro_ops_total Operations" in text
+    assert "# TYPE repro_ops_total counter" in text
+    assert "repro_ops_total 3" in text
+    assert "# TYPE repro_lat histogram" in text
+    assert 'repro_lat_bucket{le="0.1"} 1' in text
+    assert 'repro_lat_bucket{le="1"} 2' in text
+    assert 'repro_lat_bucket{le="+Inf"} 3' in text
+    assert "repro_lat_count 3" in text
+    assert "repro_lat_sum 2.55" in text
+
+
+def test_collector_refreshes_gauges_at_snapshot_time():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("repro_live")
+    source = {"value": 0}
+
+    @registry.register_collector
+    def refresh(_registry):
+        gauge.set(source["value"])
+
+    source["value"] = 11
+    assert registry.snapshot()["repro_live"] == 11
+    source["value"] = 22
+    assert "repro_live 22" in registry.render_prometheus()
+
+
+def test_snapshot_includes_histogram_structure():
+    registry = MetricsRegistry()
+    registry.histogram("repro_h", buckets=(1.0,)).observe(0.5)
+    snap = registry.snapshot()["repro_h"]
+    assert snap["count"] == 1
+    assert snap["sum"] == 0.5
+    assert snap["buckets"][0] == [1.0, 1]
