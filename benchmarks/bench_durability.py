@@ -8,13 +8,18 @@ path queries with a flush per round — by running the identical workload on
 
 * **journaled** — ``FileDisk(durability="journal")``, the default: atomic
   commit groups, superblock, recovery-on-open;
+* **archive**   — ``FileDisk(durability="archive")``: the commit group is
+  written once to a retained segment file (the replication/PITR feed)
+  instead of a truncated journal, then applied in place;
 * **baseline**  — ``FileDisk(durability="none")``: in-place writes, no
   journal (the pre-crash-safety behaviour, kept for comparison).
 
 Asserts the acceptance criteria: the journaled run stays within 2.5x the
-baseline's physical page writes and 2x its wall time, and both runs return
-identical query results.  Note the journal coalesces rewrites of the same
-page within a commit interval, which claws back much of the 2x write
+baseline's physical page writes and 2x its wall time, the archive run
+stays within 1.5x of the *journaled* run's physical writes (history
+retention must not cost a second journal), and all runs return identical
+query results.  Note the journal coalesces rewrites of the same page
+within a commit interval, which claws back much of the 2x write
 amplification on update-heavy rounds.
 """
 
@@ -55,19 +60,25 @@ def test_durability_overhead_bounded(benchmark, tmp_path):
     def compare():
         journaled_wall, journaled_sum, journaled_disk = run_workload(
             str(tmp_path / "journaled.db"), "journal", document)
+        archive_wall, archive_sum, archive_disk = run_workload(
+            str(tmp_path / "archive.db"), "archive", document)
         baseline_wall, baseline_sum, baseline_disk = run_workload(
             str(tmp_path / "baseline.db"), "none", document)
         return (journaled_wall, journaled_sum,
                 journaled_disk.durability_stats,
+                archive_wall, archive_sum, archive_disk.durability_stats,
                 baseline_wall, baseline_sum, baseline_disk.durability_stats)
 
     (journaled_wall, journaled_sum, journaled,
+     archive_wall, archive_sum, archive,
      baseline_wall, baseline_sum, baseline) = benchmark.pedantic(
         compare, rounds=1, iterations=1)
 
     write_ratio = journaled.physical_page_writes \
         / max(1, baseline.physical_page_writes)
     wall_ratio = journaled_wall / baseline_wall
+    archive_ratio = archive.physical_page_writes \
+        / max(1, journaled.physical_page_writes)
     print("\n=== Durability overhead: %d elements, %d rounds ==="
           % (ELEMENTS, ROUNDS))
     print("journaled  %.3fs  physical=%-6d (journal=%d applied=%d "
@@ -75,13 +86,23 @@ def test_durability_overhead_bounded(benchmark, tmp_path):
           % (journaled_wall, journaled.physical_page_writes,
              journaled.journal_pages, journaled.applied_pages,
              journaled.superblock_writes, journaled.commits))
+    print("archive    %.3fs  physical=%-6d (archived=%d applied=%d "
+          "superblock=%d) commits=%d"
+          % (archive_wall, archive.physical_page_writes,
+             archive.archived_pages, archive.applied_pages,
+             archive.superblock_writes, archive.commits))
     print("baseline   %.3fs  physical=%-6d (direct=%d superblock=%d)"
           % (baseline_wall, baseline.physical_page_writes,
              baseline.direct_pages, baseline.superblock_writes))
-    print("ratios     writes %.2fx  wall %.2fx" % (write_ratio, wall_ratio))
+    print("ratios     writes %.2fx  wall %.2fx  archive/journal %.2fx"
+          % (write_ratio, wall_ratio, archive_ratio))
 
     assert journaled_sum == baseline_sum
+    assert archive_sum == baseline_sum
     assert write_ratio <= 2.5, \
         "journaling write amplification %.2fx exceeds 2.5x" % write_ratio
     assert wall_ratio <= 2.0, \
         "journaling wall overhead %.2fx exceeds 2x" % wall_ratio
+    assert archive_ratio <= 1.5, \
+        "archive-mode write amplification %.2fx exceeds 1.5x of journal " \
+        "mode" % archive_ratio

@@ -50,7 +50,8 @@ class StorageContext:
 
     def __init__(self, page_size=DEFAULT_PAGE_SIZE,
                  buffer_pages=DEFAULT_POOL_PAGES, path=None,
-                 time_model=None, disk=None):
+                 time_model=None, disk=None, durability="journal",
+                 archive_dir=None):
         if disk is not None:
             # An externally built disk (e.g. a FaultInjectingDisk wrapper,
             # or a FileDisk with a non-default durability mode).
@@ -58,7 +59,12 @@ class StorageContext:
         elif path is None:
             self.disk = InMemoryDisk(page_size)
         else:
-            self.disk = FileDisk(path, page_size)
+            # durability="archive" keeps applied commit groups as
+            # sequence-numbered segments (in ``archive_dir``, default
+            # ``<path>.archive``) — the stream backups, point-in-time
+            # recovery and standby replicas consume.
+            self.disk = FileDisk(path, page_size, durability=durability,
+                                 archive_dir=archive_dir)
         self.pool = BufferPool(self.disk, buffer_pages)
         self.time_model = time_model or DiskTimeModel()
         self.indexes = None  # attached IndexManager, if any

@@ -63,6 +63,9 @@ class XmlDatabase:
         self._engine = None
         self._scrubber = None
         self._admission = None
+        self._replication = None
+        #: Set by :meth:`restore` on databases rebuilt from a backup.
+        self.restore_result = None
         self.observability = Observability()
         context.pool.tracer = self.observability.tracer
         self._register_collectors()
@@ -71,15 +74,20 @@ class XmlDatabase:
 
     @classmethod
     def create(cls, path=None, page_size=4096, buffer_pages=256,
-               handle_budget=DEFAULT_HANDLE_BUDGET, disk=None):
+               handle_budget=DEFAULT_HANDLE_BUDGET, disk=None,
+               durability="journal", archive_dir=None):
         """Create a fresh database (in memory when ``path`` is None).
 
         Pass ``disk`` to supply a pre-built disk — e.g. a
         :class:`~repro.storage.faults.FaultInjectingDisk` wrapper or a
-        ``FileDisk`` with ``durability="none"``.
+        ``FileDisk`` with ``durability="none"``.  ``durability="archive"``
+        keeps every applied commit group as a segment file (in
+        ``archive_dir``, default ``<path>.archive``) for backups,
+        point-in-time recovery and standby replication.
         """
         context = StorageContext(page_size, buffer_pages, path=path,
-                                 disk=disk)
+                                 disk=disk, durability=durability,
+                                 archive_dir=archive_dir)
         catalog = Catalog.create(context.pool)
         database = cls(context, catalog, handle_budget)
         database._save_registry()
@@ -87,14 +95,35 @@ class XmlDatabase:
 
     @classmethod
     def open(cls, path=None, page_size=4096, buffer_pages=256,
-             handle_budget=DEFAULT_HANDLE_BUDGET, disk=None):
+             handle_budget=DEFAULT_HANDLE_BUDGET, disk=None,
+             durability="journal", archive_dir=None):
         """Reopen an existing database file (recovery runs on open)."""
         if path is None and disk is None:
             raise XmlDatabaseError("open() needs a path or a disk")
         context = StorageContext(page_size, buffer_pages, path=path,
-                                 disk=disk)
+                                 disk=disk, durability=durability,
+                                 archive_dir=archive_dir)
         catalog = Catalog.open(context.pool)
         return cls(context, catalog, handle_budget)
+
+    @classmethod
+    def restore(cls, backup_dir, path, archive_dir=None, upto_sequence=None,
+                **open_options):
+        """Rebuild a database file from a hot backup and reopen it.
+
+        Replays archived commit groups past the snapshot when
+        ``archive_dir`` is given, stopping at ``upto_sequence``
+        (point-in-time recovery).  Returns the opened database; the
+        :class:`~repro.storage.backup.RestoreResult` is available as
+        ``db.restore_result``.
+        """
+        from repro.storage.backup import restore as restore_file
+
+        result = restore_file(backup_dir, path, archive_dir=archive_dir,
+                              upto_sequence=upto_sequence)
+        database = cls.open(path, **open_options)
+        database.restore_result = result
+        return database
 
     def flush(self):
         """Write back dirty index metadata, then every dirty page.
@@ -280,6 +309,45 @@ class XmlDatabase:
     def admission(self):
         return self._admission
 
+    # -- backup & replication --------------------------------------------------
+
+    def hot_backup(self, dest_dir):
+        """Snapshot the committed state into ``dest_dir`` without blocking.
+
+        Readers keep running and staged (uncommitted) writes are
+        naturally excluded — the copy reads the data file through its own
+        descriptor, so it lands exactly on the last commit boundary.
+        Returns the :class:`~repro.storage.backup.BackupManifest`.
+        Requires a file-backed database.
+        """
+        from repro.storage.backup import hot_backup
+
+        return hot_backup(self, dest_dir)
+
+    def attach_replication(self, replica):
+        """Surface a replica's shipping/failover counters here; returns it.
+
+        Binds the :class:`~repro.storage.replication.StandbyReplica`'s
+        stats into this database's metrics registry (visible in
+        :meth:`metrics_text`) and under ``stats()["replication"]``.
+        Called automatically on the database a ``promote()`` returns; a
+        primary can also attach the replica it ships to, to watch lag
+        from its side.
+        """
+        self._replication = replica
+        replica.bind_metrics(self.observability.metrics)
+        return replica
+
+    @property
+    def replication(self):
+        return self._replication
+
+    @property
+    def archive(self):
+        """The disk's commit-group archive (``durability="archive"``
+        only; None otherwise — including in-memory databases)."""
+        return getattr(self._context.disk, "archive", None)
+
     def explain(self, path, analyze=False, runtime=None):
         """The query engine's plan description for ``path``.
 
@@ -369,6 +437,7 @@ class XmlDatabase:
                 "replayed_groups": r.replayed_groups,
                 "replayed_pages": r.replayed_pages,
                 "discarded_groups": r.discarded_groups,
+                "torn_groups": r.torn_groups,
                 "free_pages_recovered": r.free_pages_recovered,
                 "leaked_pages": r.leaked_pages,
             }
@@ -377,6 +446,20 @@ class XmlDatabase:
         else:
             scrub = {"entries_checked": 0, "pages_read": 0, "clean": 0,
                      "corrupt": 0, "quarantined": 0, "cycles_completed": 0}
+        replication = None
+        if self._replication is not None:
+            rep = self._replication.stats
+            replication = {
+                "lag_segments": rep.lag_segments,
+                "segments_shipped": rep.segments_shipped,
+                "segments_applied": rep.segments_applied,
+                "apply_retries": rep.apply_retries,
+                "transient_errors": rep.transient_errors,
+                "torn_segments_seen": rep.torn_segments_seen,
+                "divergence_refusals": rep.divergence_refusals,
+                "failovers": rep.failovers,
+                "last_applied_sequence": rep.last_applied_sequence,
+            }
         snap = self.observability.snapshot()
         queries = {
             "total": snap["repro_queries_total"],
@@ -390,6 +473,7 @@ class XmlDatabase:
             "indexes": index_stats,
             "admission": admission,
             "recovery": recovery,
+            "replication": replication,
             "scrub": scrub,
             "queries": queries,
         }
@@ -421,6 +505,8 @@ class XmlDatabase:
               "Journal groups replayed at open")
         gauge("repro_recovery_discarded_groups",
               "Incomplete journal groups discarded at open")
+        gauge("repro_journal_torn_groups",
+              "Non-empty journal/archive groups that failed to decode")
         gauge("repro_scrub_entries_checked",
               "Catalog entries verified by the scrubber (lifetime)")
         gauge("repro_scrub_pages_read", "Cold pages read by the scrubber")
@@ -453,6 +539,7 @@ class XmlDatabase:
                     r.replayed_groups)
                 gauges["repro_recovery_discarded_groups"].set(
                     r.discarded_groups)
+                gauges["repro_journal_torn_groups"].set(r.torn_groups)
             if self._scrubber is not None:
                 s = self._scrubber.stats()
                 gauges["repro_scrub_entries_checked"].set(

@@ -19,13 +19,17 @@ from repro.storage.disk import (
     SimulatedDisk,
 )
 from repro.storage.errors import (
+    BackupError,
     BufferPoolError,
     ChecksumError,
+    DivergenceError,
     PageDecodeError,
     PageFullError,
     PageNotFoundError,
     RecoveryError,
+    ReplicationError,
     StorageError,
+    TransientIOError,
 )
 from repro.storage.faults import CrashPoint, FaultInjectingDisk
 from repro.storage.indexmanager import (
@@ -33,7 +37,19 @@ from repro.storage.indexmanager import (
     IndexManagerError,
     IndexManagerStats,
 )
-from repro.storage.journal import Journal
+from repro.storage.backup import (
+    BackupManifest,
+    RestoreResult,
+    hot_backup,
+    restore,
+)
+from repro.storage.journal import Archive, Journal
+from repro.storage.replication import (
+    LocalDirShipper,
+    LogShipper,
+    ReplicationStats,
+    StandbyReplica,
+)
 from repro.storage.scrub import (
     IndexQuarantinedError,
     IntegrityScrubber,
@@ -54,6 +70,9 @@ from repro.storage.pages import (
 from repro.storage.timemodel import DiskTimeModel
 
 __all__ = [
+    "Archive",
+    "BackupError",
+    "BackupManifest",
     "BufferPool",
     "BufferStats",
     "BufferPoolError",
@@ -61,6 +80,7 @@ __all__ = [
     "CrashPoint",
     "DEFAULT_PAGE_SIZE",
     "DiskTimeModel",
+    "DivergenceError",
     "DurabilityStats",
     "ElementEntry",
     "FaultInjectingDisk",
@@ -75,6 +95,8 @@ __all__ = [
     "InMemoryDisk",
     "IOStats",
     "Journal",
+    "LocalDirShipper",
+    "LogShipper",
     "PAGE_HEADER_SIZE",
     "Page",
     "PageDecodeError",
@@ -83,10 +105,17 @@ __all__ = [
     "RawPage",
     "RecoveryError",
     "RecoveryStats",
+    "ReplicationError",
+    "ReplicationStats",
+    "RestoreResult",
+    "StandbyReplica",
     "SimulatedDisk",
     "StorageError",
+    "TransientIOError",
+    "hot_backup",
     "page_checksum",
     "page_codec",
     "register_page_type",
+    "restore",
     "seal_image",
 ]

@@ -21,8 +21,13 @@ import struct
 import zlib
 from dataclasses import dataclass, field
 
-from repro.storage.errors import PageNotFoundError, RecoveryError, StorageError
-from repro.storage.journal import Journal
+from repro.storage.errors import (
+    PageNotFoundError,
+    RecoveryError,
+    StorageError,
+    TransientIOError,
+)
+from repro.storage.journal import Archive, Journal
 
 DEFAULT_PAGE_SIZE = 4096
 
@@ -205,6 +210,10 @@ class RecoveryStats:
     discarded_groups: int = 0
     free_pages_recovered: int = 0
     leaked_pages: int = 0
+    #: Non-empty journal/archive groups that failed to decode (torn or
+    #: corrupt).  Always <= ``discarded_groups``; surfaced separately so a
+    #: silent discard is still observable (``journal_torn_groups`` metric).
+    torn_groups: int = 0
 
     @property
     def clean(self):
@@ -218,6 +227,7 @@ class DurabilityStats:
 
     commits: int = 0
     journal_pages: int = 0   # page images written to the journal file
+    archived_pages: int = 0  # page images written to archive segments
     applied_pages: int = 0   # page images applied to the data file
     direct_pages: int = 0    # in-place writes (durability="none" only)
     superblock_writes: int = 0
@@ -225,7 +235,7 @@ class DurabilityStats:
     @property
     def physical_page_writes(self):
         """Total page-sized writes that reached the operating system."""
-        return (self.journal_pages + self.applied_pages
+        return (self.journal_pages + self.archived_pages + self.applied_pages
                 + self.direct_pages + self.superblock_writes)
 
 
@@ -238,6 +248,40 @@ _SUPERBLOCK_MAGIC = b"XRSB"
 _SUPERBLOCK_VERSION = 1
 _SB_CRC_OFFSET = 6  # after magic (4s) + version (H)
 _FREE_ID = struct.Struct("<I")
+
+
+def decode_superblock(image):
+    """Decode a superblock page image into a plain dict (checks included).
+
+    ``image`` must hold the full superblock page (its own ``page_size``
+    field tells how long that is).  Raises
+    :class:`~repro.storage.errors.RecoveryError` on a bad magic, version
+    or CRC — the checks backups and log shipping rely on to refuse a
+    corrupt base.
+    """
+    if len(image) < _SUPERBLOCK.size:
+        raise RecoveryError("superblock image is %d bytes; header needs %d"
+                            % (len(image), _SUPERBLOCK.size))
+    (magic, version, stored_crc, page_size, seq, next_id,
+     free_count, leaked) = _SUPERBLOCK.unpack_from(image, 0)
+    if magic != _SUPERBLOCK_MAGIC:
+        raise RecoveryError("no superblock magic")
+    if version != _SUPERBLOCK_VERSION:
+        raise RecoveryError("superblock version %d unsupported" % version)
+    if len(image) < page_size:
+        raise RecoveryError("superblock image is %d bytes; page size is %d"
+                            % (len(image), page_size))
+    page = bytearray(image[:page_size])
+    struct.pack_into("<I", page, _SB_CRC_OFFSET, 0)
+    if zlib.crc32(bytes(page)) & 0xFFFFFFFF != stored_crc:
+        raise RecoveryError("superblock checksum mismatch")
+    return {
+        "page_size": page_size,
+        "sequence": seq,
+        "next_page_id": next_id,
+        "free_count": free_count,
+        "leaked": leaked,
+    }
 
 
 class FileDisk(SimulatedDisk):
@@ -254,18 +298,26 @@ class FileDisk(SimulatedDisk):
     the crash left unapplied, or discards a torn one, and reports what it
     did in :attr:`recovery_stats`.
 
+    ``durability="archive"`` commits exactly like journal mode, but each
+    group is written to its own sequence-numbered segment file in an
+    archive directory (``<path>.archive`` by default) and *kept* after
+    being applied — the replay stream consumed by hot backups,
+    point-in-time recovery (:mod:`repro.storage.backup`) and standby
+    replicas (:mod:`repro.storage.replication`).
+
     ``durability="none"`` is the unjournaled baseline: writes go in place
     immediately and only the superblock is maintained — a crash can tear
     pages (detected later by page checksums, but not repaired).
     """
 
     def __init__(self, path, page_size=DEFAULT_PAGE_SIZE,
-                 durability="journal"):
-        if durability not in ("journal", "none"):
+                 durability="journal", archive_dir=None):
+        if durability not in ("journal", "archive", "none"):
             raise StorageError("unknown durability mode %r" % durability)
         super().__init__(page_size)
         self._path = path
-        self.journaled = durability == "journal"
+        self.durability = durability
+        self.journaled = durability != "none"
         self.recovery_stats = RecoveryStats()
         self.durability_stats = DurabilityStats()
         #: Physical-write interception hook installed by
@@ -278,11 +330,25 @@ class FileDisk(SimulatedDisk):
         self._live = set()
         self._journal = (Journal(path + ".journal", page_size,
                                  fault_filter=self._filter_physical)
-                         if self.journaled else None)
+                         if durability == "journal" else None)
+        self._archive = (Archive(archive_dir or path + ".archive", page_size,
+                                 fault_filter=self._filter_physical)
+                         if durability == "archive" else None)
         if os.fstat(self._fd).st_size == 0:
             self._write_superblock_direct()
         else:
             self._recover()
+
+    @property
+    def archive(self):
+        """The commit-group :class:`~repro.storage.journal.Archive`
+        (``durability="archive"`` only; None otherwise)."""
+        return self._archive
+
+    @property
+    def commit_sequence(self):
+        """Sequence number of the last committed group."""
+        return self._commit_seq
 
     @property
     def path(self):
@@ -344,11 +410,26 @@ class FileDisk(SimulatedDisk):
         self._commit_seq += 1
         records = dict(self._pending)
         records[0] = self._superblock_image()
-        self._journal.commit(self._commit_seq, records)
+        try:
+            if self._archive is not None:
+                self._archive.append(self._commit_seq, records)
+            else:
+                self._journal.commit(self._commit_seq, records)
+        except TransientIOError:
+            # Nothing became durable (the fault fires before any byte is
+            # written), so the sequence number must not be consumed — a
+            # retried sync() reuses it, keeping the archive gap-free.
+            self._commit_seq -= 1
+            raise
         self._apply(records)
-        self._journal.clear()
+        if self._journal is not None:
+            self._journal.clear()
         self.durability_stats.commits += 1
-        self.durability_stats.journal_pages = self._journal.pages_journaled
+        if self._journal is not None:
+            self.durability_stats.journal_pages = self._journal.pages_journaled
+        if self._archive is not None:
+            self.durability_stats.archived_pages = \
+                self._archive.pages_archived
         self._pending.clear()
         self._meta_dirty = False
         return len(records)
@@ -406,7 +487,7 @@ class FileDisk(SimulatedDisk):
         if crash:
             self._crash()
 
-    def _load_superblock(self):
+    def _load_superblock(self, count_stats=True):
         raw = os.pread(self._fd, self.page_size, 0)
         if len(raw) < _SUPERBLOCK.size:
             raise RecoveryError(
@@ -439,8 +520,9 @@ class FileDisk(SimulatedDisk):
         self._next_page_id = next_id
         self._freed = freed
         self._live = set(range(1, next_id)) - set(freed)
-        self.recovery_stats.free_pages_recovered = len(freed)
-        self.recovery_stats.leaked_pages += leaked
+        if count_stats:
+            self.recovery_stats.free_pages_recovered = len(freed)
+            self.recovery_stats.leaked_pages += leaked
 
     # -- recovery-on-open ----------------------------------------------------
 
@@ -451,20 +533,93 @@ class FileDisk(SimulatedDisk):
                 sequence, records = group
                 known = self._peek_superblock_sequence()
                 if known is None or sequence >= known:
-                    for page_id in sorted(records):
-                        os.pwrite(self._fd, records[page_id],
-                                  page_id * self.page_size)
-                    os.fsync(self._fd)
-                    self.recovery_stats.replayed_groups += 1
-                    self.recovery_stats.replayed_pages += len(records)
+                    self._replay(records)
                 else:
                     self.recovery_stats.discarded_groups += 1
                 self._journal.clear()
             elif self._journal.pending_bytes > 0:
-                # Torn or corrupt group: never committed, discard it.
+                # Torn or corrupt group: never committed, discard it —
+                # but count the tear instead of discarding silently.
                 self.recovery_stats.discarded_groups += 1
+                self.recovery_stats.torn_groups += self._journal.torn_groups
                 self._journal.clear()
+        if self._archive is not None:
+            self._recover_from_archive()
         self._load_superblock()
+
+    def _recover_from_archive(self):
+        """Replay or discard the newest archived segment.
+
+        Only the newest segment can be unapplied (every older one was
+        fully applied before its successor was written); a torn newest
+        segment was never acknowledged, so it is deleted and counted.
+        An existing non-empty ``<path>.journal`` left by a previous
+        journal-mode session is replayed first by the caller when the
+        disk is opened in journal mode; archive mode refuses to open
+        over a pending journal to avoid silently skipping it.
+        """
+        journal_path = self._path + ".journal"
+        if os.path.exists(journal_path) and os.path.getsize(journal_path):
+            raise RecoveryError(
+                "%s has a pending journal; reopen once with "
+                "durability=\"journal\" before switching to archive mode"
+                % self._path
+            )
+        latest = self._archive.latest_sequence()
+        if latest is None:
+            return
+        group = self._archive.read(latest)
+        if group is None:
+            self.recovery_stats.discarded_groups += 1
+            self.recovery_stats.torn_groups += 1
+            self._archive.remove(latest)
+            return
+        sequence, records = group
+        known = self._peek_superblock_sequence()
+        if known is None or sequence >= known:
+            self._replay(records)
+        # An already-applied segment stays in the archive: it is history,
+        # not a pending intent.
+
+    def _replay(self, records):
+        for page_id in sorted(records):
+            os.pwrite(self._fd, records[page_id],
+                      page_id * self.page_size)
+        os.fsync(self._fd)
+        self.recovery_stats.replayed_groups += 1
+        self.recovery_stats.replayed_pages += len(records)
+
+    # -- standby apply -------------------------------------------------------
+
+    def apply_group(self, sequence, records):
+        """Apply one shipped commit group to this disk (standby path).
+
+        The group must include the superblock (page id 0) — every
+        ``sync()`` group does — so applying it moves this file to the
+        primary's exact post-commit state, allocation metadata included.
+        Applying is idempotent: a retry after a
+        :class:`~repro.storage.errors.TransientIOError` re-writes the same
+        images.  Refuses to run over staged local writes (a standby must
+        be read-only) or to move backwards past the current sequence.
+        """
+        if self._fd is None:
+            raise StorageError("apply_group on a closed disk")
+        if self._pending or self._meta_dirty:
+            raise StorageError(
+                "apply_group over staged local writes (standby disks "
+                "must be read-only)"
+            )
+        if 0 not in records:
+            raise StorageError(
+                "commit group %d has no superblock record" % sequence)
+        if sequence < self._commit_seq:
+            raise StorageError(
+                "apply_group sequence %d behind current commit %d"
+                % (sequence, self._commit_seq)
+            )
+        self._apply(records)
+        self._load_superblock(count_stats=False)
+        return len(records)
 
     def _peek_superblock_sequence(self):
         """The committed superblock's sequence number, or None if unreadable."""

@@ -39,5 +39,30 @@ class RecoveryError(StorageError):
     (missing or corrupt superblock, undecodable catalog root, ...)."""
 
 
+class TransientIOError(StorageError):
+    """A retryable I/O failure (injected or environmental).
+
+    Raised by :class:`~repro.storage.faults.FaultInjectingDisk` in
+    transient mode (``fail_next``) and honoured by retry/backoff loops —
+    the replication apply path, future scrubber retries.  Unlike
+    :class:`~repro.storage.faults.CrashPoint`, the operation may simply be
+    retried: no state was lost.
+    """
+
+
+class BackupError(StorageError):
+    """Hot backup or restore could not produce a consistent snapshot."""
+
+
+class ReplicationError(StorageError):
+    """Log shipping or standby apply failed non-transiently."""
+
+
+class DivergenceError(ReplicationError):
+    """The standby refused to promote: the archived stream has a sequence
+    gap or a checksum-corrupt segment between its position and the
+    primary's head, so catching up would silently lose commits."""
+
+
 class BufferPoolError(StorageError):
     """Buffer-pool protocol violation (e.g. evicting a pinned page)."""

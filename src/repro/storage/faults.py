@@ -10,7 +10,12 @@ SimulatedDisk` and exposes the same page interface while letting tests
 * **tear the fatal write**: persist only a prefix of the page image before
   the kill, modelling a sector-level partial write;
 * **flip bits** in persisted pages through the unaccounted ``peek``/``poke``
-  hooks, modelling silent media corruption.
+  hooks, modelling silent media corruption;
+* **fail transiently**: ``fail_next(n, op)`` arms the wrapper to raise a
+  retryable :class:`~repro.storage.errors.TransientIOError` for the next
+  ``n`` operations of kind ``op`` and then succeed — the deterministic
+  test surface for retry/backoff paths (replication apply, scrubber
+  retries).  A transient failure does *not* kill the wrapper.
 
 A kill raises :class:`CrashPoint` and leaves the wrapper *dead*: every
 subsequent operation raises again, so ``finally`` blocks and context
@@ -21,6 +26,7 @@ code (e.g. ``IndexManager.flush``) must never swallow a simulated kill.
 """
 
 from repro.storage.disk import FileDisk
+from repro.storage.errors import TransientIOError
 
 #: Operation names accepted as kill points.
 LOGICAL_OPS = ("read", "write", "allocate")
@@ -52,10 +58,42 @@ class FaultInjectingDisk:
         self.torn_bytes = torn_bytes
         self.dead = False
         self.op_counts = {op: 0 for op in LOGICAL_OPS + (PHYSICAL_OP,)}
+        self._transient = {}  # op -> remaining failures to inject
+        self.transient_injected = 0
         if isinstance(inner, FileDisk):
             inner.fault_hook = self._on_physical_write
 
     # -- fault machinery -----------------------------------------------------
+
+    def fail_next(self, n, op="read"):
+        """Arm ``n`` transient failures for the next ``n`` ops of kind ``op``.
+
+        Each affected operation raises
+        :class:`~repro.storage.errors.TransientIOError` *instead of*
+        executing (no partial effects); the (n+1)-th succeeds normally.
+        Re-arming replaces the pending count for that op kind.
+        """
+        if op not in LOGICAL_OPS + (PHYSICAL_OP,):
+            raise ValueError("unknown fail op %r" % op)
+        if n < 0:
+            raise ValueError("fail_next needs n >= 0")
+        if n:
+            self._transient[op] = n
+        else:
+            self._transient.pop(op, None)
+
+    def _maybe_fail_transiently(self, op):
+        remaining = self._transient.get(op)
+        if remaining:
+            if remaining == 1:
+                del self._transient[op]
+            else:
+                self._transient[op] = remaining - 1
+            self.transient_injected += 1
+            raise TransientIOError(
+                "injected transient failure at %s #%d"
+                % (op, self.op_counts[op])
+            )
 
     def _tick(self, op):
         if self.dead:
@@ -67,12 +105,15 @@ class FaultInjectingDisk:
             raise CrashPoint(
                 "killed at %s #%d" % (op, self.op_counts[op])
             )
+        self._maybe_fail_transiently(op)
 
     def _on_physical_write(self, kind, page_id, data):
         """FileDisk hook: called before every physical page write.
 
         Returns ``(data, crash)``; the disk persists ``data`` (possibly a
         torn prefix) and raises :class:`CrashPoint` when ``crash`` is True.
+        A pending transient failure raises ``TransientIOError`` before the
+        write happens, leaving the disk untouched for the retry.
         """
         if self.dead:
             raise CrashPoint("physical write on a crashed disk")
@@ -83,6 +124,7 @@ class FaultInjectingDisk:
             if self.torn_bytes is not None:
                 data = bytes(data)[: self.torn_bytes]
             return data, True
+        self._maybe_fail_transiently(PHYSICAL_OP)
         return data, False
 
     def crash_now(self):

@@ -13,7 +13,9 @@ group footer   "XRJC" magic, CRC-32 over header + records
 
 Commit protocol (:meth:`Journal.commit` / :meth:`FileDisk.sync`):
 
-1. write the whole group to the journal file, fsync it;
+1. write the whole group to the journal file, fsync it (and, on the very
+   first commit after the journal file was created, fsync the parent
+   directory so the journal's directory entry itself is durable);
 2. apply every record to the data file at its page offset, fsync it;
 3. truncate the journal to zero (:meth:`Journal.clear`).
 
@@ -29,9 +31,17 @@ A crash at any point leaves one of three states, all recoverable:
 
 Validity of a group is established by length and CRC alone, so a torn
 journal write can never masquerade as a committed group.
+
+The same group encoding is reused by :class:`Archive` — the
+``durability="archive"`` mode's segment store — where applied groups are
+*kept* as sequence-numbered segment files instead of truncated, forming
+the log-shipping stream that backups, point-in-time recovery and standby
+replicas consume (:mod:`repro.storage.backup`,
+:mod:`repro.storage.replication`).
 """
 
 import os
+import re
 import struct
 import zlib
 
@@ -40,6 +50,87 @@ _COMMIT_MAGIC = b"XRJC"
 _HEADER = struct.Struct("<4sQI")   # magic, commit sequence, page count
 _RECORD = struct.Struct("<Q")      # page id (0 = superblock)
 _FOOTER = struct.Struct("<4sI")    # commit magic, CRC-32 of header+records
+
+#: ``seg-<sequence>.xrseg`` — zero-padded so lexical order is replay order.
+SEGMENT_SUFFIX = ".xrseg"
+_SEGMENT_RE = re.compile(r"^seg-(\d{16})\.xrseg$")
+
+
+def segment_name(sequence):
+    """Canonical archive file name for one commit group."""
+    return "seg-%016d%s" % (sequence, SEGMENT_SUFFIX)
+
+
+def encode_group(sequence, records, page_size, fault_filter=None,
+                 filter_kind="journal"):
+    """Serialize one commit group; returns ``(body, crash, pages_written)``.
+
+    ``fault_filter`` is the physical-write interception hook wired up by
+    :class:`~repro.storage.faults.FaultInjectingDisk`: it sees every page
+    record and may tear it (``crash`` True means the caller must persist
+    the possibly-torn body and then simulate a kill).
+    """
+    body = bytearray()
+    body += _HEADER.pack(_GROUP_MAGIC, sequence, len(records))
+    crash = False
+    written = 0
+    for page_id in sorted(records):
+        image = bytes(records[page_id])
+        if len(image) < page_size:
+            image += bytes(page_size - len(image))
+        if fault_filter is not None:
+            image, crash = fault_filter(filter_kind, page_id, image)
+        body += _RECORD.pack(page_id)
+        body += image
+        written += 1
+        if crash:
+            break
+    if not crash:
+        body += _FOOTER.pack(_COMMIT_MAGIC,
+                             zlib.crc32(bytes(body)) & 0xFFFFFFFF)
+    return bytes(body), crash, written
+
+
+def decode_group(blob, page_size):
+    """Decode one serialized commit group.
+
+    Returns ``(sequence, {page_id: image})`` for a complete, checksum-valid
+    group; ``None`` for anything else — empty, torn mid-record, or failing
+    the CRC.  Callers who need to distinguish "empty" from "torn" check
+    ``len(blob)`` themselves.
+    """
+    size = len(blob)
+    if size < _HEADER.size + _FOOTER.size:
+        return None
+    magic, sequence, count = _HEADER.unpack_from(blob, 0)
+    if magic != _GROUP_MAGIC:
+        return None
+    record_size = _RECORD.size + page_size
+    body_size = _HEADER.size + count * record_size
+    if size < body_size + _FOOTER.size:
+        return None
+    commit_magic, stored_crc = _FOOTER.unpack_from(blob, body_size)
+    if commit_magic != _COMMIT_MAGIC:
+        return None
+    if zlib.crc32(blob[:body_size]) & 0xFFFFFFFF != stored_crc:
+        return None
+    records = {}
+    offset = _HEADER.size
+    for _ in range(count):
+        (page_id,) = _RECORD.unpack_from(blob, offset)
+        offset += _RECORD.size
+        records[page_id] = blob[offset : offset + page_size]
+        offset += page_size
+    return sequence, records
+
+
+def fsync_directory(path):
+    """fsync a directory so entries created inside it are durable."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 class Journal:
@@ -54,10 +145,20 @@ class Journal:
         self.path = path
         self.page_size = page_size
         self._filter = fault_filter
+        created = not os.path.exists(path)
         self._fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+        # A freshly created journal file is not durable until its parent
+        # directory's entry is — a crash right after the first commit could
+        # otherwise lose the journal file itself.  The first commit pays
+        # one directory fsync to close that hole.
+        self._needs_dir_sync = created
         #: Counters for the durability benchmark.
         self.commits = 0
         self.pages_journaled = 0
+        self.dir_fsyncs = 0
+        #: Trailing corrupt groups seen by :meth:`read_group` (satellites
+        #: surface this through ``recovery_stats.torn_groups``).
+        self.torn_groups = 0
 
     @property
     def closed(self):
@@ -81,26 +182,16 @@ class Journal:
         Writes the group and fsyncs the journal file; the caller applies the
         records to the data file afterwards and then calls :meth:`clear`.
         """
-        body = bytearray()
-        body += _HEADER.pack(_GROUP_MAGIC, sequence, len(records))
-        crash = False
-        for page_id in sorted(records):
-            image = bytes(records[page_id])
-            if len(image) < self.page_size:
-                image += bytes(self.page_size - len(image))
-            if self._filter is not None:
-                image, crash = self._filter("journal", page_id, image)
-            body += _RECORD.pack(page_id)
-            body += image
-            self.pages_journaled += 1
-            if crash:
-                break
-        if not crash:
-            body += _FOOTER.pack(_COMMIT_MAGIC,
-                                 zlib.crc32(bytes(body)) & 0xFFFFFFFF)
-        os.pwrite(self._fd, bytes(body), 0)
+        body, crash, written = encode_group(sequence, records,
+                                            self.page_size, self._filter)
+        self.pages_journaled += written
+        os.pwrite(self._fd, body, 0)
         os.ftruncate(self._fd, len(body))
         os.fsync(self._fd)
+        if self._needs_dir_sync:
+            fsync_directory(os.path.dirname(os.path.abspath(self.path)))
+            self.dir_fsyncs += 1
+            self._needs_dir_sync = False
         self.commits += 1
         if crash:
             from repro.storage.faults import CrashPoint
@@ -119,35 +210,145 @@ class Journal:
 
         Returns ``(sequence, {page_id: image})`` when the journal holds a
         complete, checksum-valid group; None when it is empty, torn or
-        corrupt (the caller discards it either way).
+        corrupt.  A non-empty journal that fails to decode is counted in
+        :attr:`torn_groups` — the caller still discards it (it was never
+        acknowledged), but the occurrence is surfaced instead of silent.
         """
         size = os.fstat(self._fd).st_size
-        if size < _HEADER.size + _FOOTER.size:
+        if size == 0:
             return None
         blob = os.pread(self._fd, size, 0)
-        magic, sequence, count = _HEADER.unpack_from(blob, 0)
-        if magic != _GROUP_MAGIC:
-            return None
-        record_size = _RECORD.size + self.page_size
-        body_size = _HEADER.size + count * record_size
-        if size < body_size + _FOOTER.size:
-            return None
-        commit_magic, stored_crc = _FOOTER.unpack_from(blob, body_size)
-        if commit_magic != _COMMIT_MAGIC:
-            return None
-        if zlib.crc32(blob[:body_size]) & 0xFFFFFFFF != stored_crc:
-            return None
-        records = {}
-        offset = _HEADER.size
-        for _ in range(count):
-            (page_id,) = _RECORD.unpack_from(blob, offset)
-            offset += _RECORD.size
-            records[page_id] = blob[offset : offset + self.page_size]
-            offset += self.page_size
-        return sequence, records
+        group = decode_group(blob, self.page_size)
+        if group is None:
+            self.torn_groups += 1
+        return group
 
     def __enter__(self):
         return self
 
     def __exit__(self, exc_type, exc, tb):
         self.close()
+
+
+class ArchiveError(Exception):
+    """Archive directory misuse or an unreadable segment."""
+
+
+class Archive:
+    """Sequence-numbered commit-group segments in a directory.
+
+    The ``durability="archive"`` commit path: instead of writing each
+    group to a single truncating journal file, every group is written to
+    its own ``seg-<sequence>.xrseg`` file (fsynced, with the directory
+    entry fsynced too) *before* being applied to the data file.  The
+    archive therefore holds the full history of committed groups since
+    its creation — the replay stream for point-in-time recovery and the
+    shipping stream for standby replicas.
+
+    A torn trailing segment (crash while writing it) is detected by the
+    group CRC exactly as for the journal; it was never acknowledged, so
+    recovery deletes it and counts it.
+    """
+
+    def __init__(self, directory, page_size, fault_filter=None):
+        self.directory = directory
+        self.page_size = page_size
+        self._filter = fault_filter
+        created = not os.path.isdir(directory)
+        if created:
+            os.makedirs(directory, exist_ok=True)
+            fsync_directory(os.path.dirname(os.path.abspath(directory))
+                            or ".")
+        #: Counters for the durability benchmark and replication metrics.
+        self.commits = 0
+        self.pages_archived = 0
+        self.dir_fsyncs = 1 if created else 0
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(self, sequence, records):
+        """Write one commit group as the segment for ``sequence``."""
+        body, crash, written = encode_group(sequence, records,
+                                            self.page_size, self._filter)
+        self.pages_archived += written
+        path = os.path.join(self.directory, segment_name(sequence))
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.pwrite(fd, body, 0)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        fsync_directory(self.directory)
+        self.dir_fsyncs += 1
+        self.commits += 1
+        if crash:
+            from repro.storage.faults import CrashPoint
+
+            raise CrashPoint("killed while archiving a commit group")
+
+    # -- reading ---------------------------------------------------------------
+
+    def sequences(self):
+        """Sorted sequence numbers of every segment present."""
+        out = []
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return out
+        for name in names:
+            match = _SEGMENT_RE.match(name)
+            if match:
+                out.append(int(match.group(1)))
+        out.sort()
+        return out
+
+    def segment_path(self, sequence):
+        return os.path.join(self.directory, segment_name(sequence))
+
+    def read(self, sequence):
+        """Decode segment ``sequence``; returns ``(sequence, records)``.
+
+        Returns None when the segment is missing, torn or corrupt.
+        """
+        try:
+            with open(self.segment_path(sequence), "rb") as fh:
+                blob = fh.read()
+        except FileNotFoundError:
+            return None
+        group = decode_group(blob, self.page_size)
+        if group is not None and group[0] != sequence:
+            return None  # mis-filed segment: treat as corrupt
+        return group
+
+    def read_raw(self, sequence):
+        """The raw segment bytes (shipping payload), or None if missing."""
+        try:
+            with open(self.segment_path(sequence), "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            return None
+
+    def latest_sequence(self):
+        sequences = self.sequences()
+        return sequences[-1] if sequences else None
+
+    def remove(self, sequence):
+        """Delete one segment (recovery discards torn trailing ones)."""
+        try:
+            os.remove(self.segment_path(sequence))
+        except FileNotFoundError:
+            pass
+
+    def prune_upto(self, sequence):
+        """Drop every segment with a sequence <= ``sequence`` (retention).
+
+        Returns the number of segments removed.  Pruning shortens the
+        replay window: restores then need a base backup at or beyond the
+        prune point.
+        """
+        removed = 0
+        for seq in self.sequences():
+            if seq <= sequence:
+                self.remove(seq)
+                removed += 1
+        return removed

@@ -1,0 +1,440 @@
+"""Journal shipping to a warm standby, with promotion on failover.
+
+With ``durability="archive"`` every committed group survives as a
+sequence-numbered segment file (:class:`~repro.storage.journal.Archive`).
+A :class:`StandbyReplica` *tails* that stream through a pluggable
+:class:`LogShipper` transport, applies each group to its own copy of the
+data file through the same idempotent apply path crash recovery uses
+(:meth:`~repro.storage.disk.FileDisk.apply_group`), serves read-only
+queries through the normal engine, and — when the primary dies —
+:meth:`~StandbyReplica.promote`\\ s to a writable primary after catching
+up.
+
+Safety rules, enforced rather than assumed:
+
+* a segment is applied only if it decodes and passes its group CRC, and
+  only in sequence order — the standby's file is always byte-identical to
+  some committed primary state;
+* a **torn head** segment (primary crashed mid-archive; the commit was
+  never acknowledged) is skipped and re-polled — a restarted primary
+  deletes and rewrites it;
+* a **sequence gap** or a corrupt segment *with valid segments beyond
+  it* is divergence: those commits cannot be reconstructed, so
+  ``promote()`` refuses with
+  :class:`~repro.storage.errors.DivergenceError` unless the caller
+  explicitly accepts failing over to the last-known-good sequence;
+* transient apply/ship failures
+  (:class:`~repro.storage.errors.TransientIOError`) are retried with
+  exponential backoff before giving up with
+  :class:`~repro.storage.errors.ReplicationError`.
+
+The built-in transport is :class:`LocalDirShipper` (a shared local
+directory).  The interface is deliberately socket-shaped —
+``connect() / latest_sequence() / fetch(seq) / close()`` — so a network
+transport slots in without touching the replica.
+"""
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.obs.trace import NULL_TRACER
+from repro.storage.disk import FileDisk
+from repro.storage.errors import (
+    DivergenceError,
+    ReplicationError,
+    TransientIOError,
+)
+from repro.storage.journal import Archive, decode_group
+
+#: Retry policy defaults for transient ship/apply failures.
+DEFAULT_MAX_RETRIES = 4
+DEFAULT_BACKOFF_SECONDS = 0.01
+
+
+class LogShipper:
+    """Transport interface a standby tails segments through.
+
+    Implementations deliver raw segment bytes by commit sequence.  The
+    shape mirrors a network client: ``connect``/``close`` bracket the
+    session, ``latest_sequence`` is the poll, ``fetch`` the transfer.
+    ``fetch`` returns None for a sequence the transport cannot produce
+    (missing segment) — validity of the *bytes* is the replica's job.
+    """
+
+    def connect(self):
+        return self
+
+    def close(self):
+        pass
+
+    def latest_sequence(self):
+        """Highest sequence available, or None for an empty stream."""
+        raise NotImplementedError
+
+    def fetch(self, sequence):
+        """Raw bytes of one segment, or None if it does not exist."""
+        raise NotImplementedError
+
+    def __enter__(self):
+        return self.connect()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+
+
+class LocalDirShipper(LogShipper):
+    """Ship segments out of a local archive directory.
+
+    The degenerate transport: primary and standby share a filesystem (or
+    the archive directory is rsynced/mounted).  Reads never block the
+    primary — segments are immutable once written.
+    """
+
+    def __init__(self, archive_dir, page_size):
+        self.archive_dir = archive_dir
+        self.page_size = page_size
+        self._archive = Archive(archive_dir, page_size)
+
+    def latest_sequence(self):
+        return self._archive.latest_sequence()
+
+    def fetch(self, sequence):
+        return self._archive.read_raw(sequence)
+
+
+@dataclass
+class ReplicationStats:
+    """Counters for one standby's shipping, applying and failover."""
+
+    segments_shipped: int = 0        # segments fetched from the transport
+    segments_applied: int = 0
+    pages_applied: int = 0
+    bytes_shipped: int = 0
+    apply_retries: int = 0           # retry loops that eventually succeeded
+    transient_errors: int = 0        # TransientIOErrors absorbed
+    torn_segments_seen: int = 0      # torn head segments skipped (re-polled)
+    divergence_refusals: int = 0     # promote() calls refused
+    failovers: int = 0               # successful promotions
+    last_applied_sequence: int = 0
+    shipper_head_sequence: int = 0   # head seen at the last poll
+
+    @property
+    def lag_segments(self):
+        """Commit groups the standby is behind the shipped head."""
+        return max(0, self.shipper_head_sequence
+                   - self.last_applied_sequence)
+
+
+class StandbyReplica:
+    """A warm standby: tails the archive, serves reads, can take over.
+
+    ``path`` is the standby's own copy of the data file — bootstrap it
+    with :meth:`from_backup` (restore a hot backup) and the replica
+    catches up on everything newer through ``shipper``.  ``disk_factory``
+    (path, page_size) -> disk lets tests interpose a
+    :class:`~repro.storage.faults.FaultInjectingDisk` on the apply path.
+    ``observability`` (an :class:`~repro.obs.Observability` hub or None)
+    gets ship/apply/promote trace spans and, via :meth:`bind_metrics`,
+    the replication gauges.
+    """
+
+    def __init__(self, path, shipper, page_size=4096, buffer_pages=256,
+                 max_retries=DEFAULT_MAX_RETRIES,
+                 backoff_seconds=DEFAULT_BACKOFF_SECONDS,
+                 disk_factory=None, observability=None):
+        self.path = path
+        self.shipper = shipper.connect()
+        self.page_size = page_size
+        self.buffer_pages = buffer_pages
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self.stats = ReplicationStats()
+        self.promoted = False
+        self.stall_reason = None   # divergence description, or None
+        self._tracer = (observability.tracer if observability is not None
+                        else NULL_TRACER)
+        if disk_factory is None:
+            # durability="none": the standby never commits through the
+            # logical write path; groups arrive pre-journaled.
+            disk_factory = lambda p, ps: FileDisk(p, ps, durability="none")
+        self._disk = disk_factory(path, page_size)
+        self._db = None            # lazily opened read-only query engine
+        self.stats.last_applied_sequence = self._disk.commit_sequence
+        if observability is not None:
+            self.bind_metrics(observability.metrics)
+
+    @classmethod
+    def from_backup(cls, backup_dir, path, shipper, **options):
+        """Bootstrap a standby by restoring a hot backup to ``path``.
+
+        No archive replay happens here — catching up goes through the
+        shipper, so bootstrap and steady-state exercise one code path.
+        """
+        from repro.storage.backup import restore
+
+        result = restore(backup_dir, path)
+        replica = cls(path, shipper,
+                      page_size=options.pop("page_size", 4096), **options)
+        replica.stats.last_applied_sequence = result.sequence
+        return replica
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self):
+        self._close_query_db()
+        if not getattr(self._disk, "closed", True):
+            self._disk.close()
+        self.shipper.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+
+    def _require_standby(self):
+        if self.promoted:
+            raise ReplicationError(
+                "replica at %s was promoted; it no longer tails" % self.path)
+
+    # -- tailing -------------------------------------------------------------
+
+    def catch_up(self, limit=None):
+        """Apply every available segment (up to ``limit``); returns count.
+
+        Stops early — without error — at a torn head segment or when the
+        stream is exhausted; stops *with a recorded stall* at a sequence
+        gap or corrupt interior segment (divergence; see
+        :meth:`promote`).  Transient ship/apply failures are retried with
+        exponential backoff.
+        """
+        self._require_standby()
+        applied = 0
+        with self._tracer.span("replica.catch_up", path=self.path):
+            head = self._poll_head()
+            while (limit is None or applied < limit):
+                next_seq = self._disk.commit_sequence + 1
+                if head is None or next_seq > head:
+                    break
+                if not self._ship_and_apply_one(next_seq, head):
+                    break
+                applied += 1
+        return applied
+
+    def _poll_head(self):
+        head = self._with_retry("poll", self.shipper.latest_sequence)
+        self.stats.shipper_head_sequence = head or 0
+        return head
+
+    def _ship_and_apply_one(self, sequence, head):
+        """Fetch, validate and apply one segment; False means stop."""
+        blob = self._with_retry("ship",
+                                lambda: self.shipper.fetch(sequence))
+        if blob is None:
+            self._stall("segment %d is missing below head %d "
+                        "(pruned or lost in transport)" % (sequence, head))
+            return False
+        self.stats.segments_shipped += 1
+        self.stats.bytes_shipped += len(blob)
+        group = decode_group(blob, self.page_size)
+        if group is None:
+            if sequence == head:
+                # Torn head: the primary died mid-archive and never
+                # acknowledged this commit.  A restarted primary deletes
+                # and rewrites it, so re-poll rather than stall.
+                self.stats.torn_segments_seen += 1
+                return False
+            self._stall("segment %d is corrupt with valid segments "
+                        "beyond it" % sequence)
+            return False
+        seq, records = group
+        if seq != sequence:
+            self._stall("segment %d decodes to sequence %d (mis-shipped)"
+                        % (sequence, seq))
+            return False
+        self._with_retry(
+            "apply", lambda: self._disk.apply_group(seq, records))
+        self.stats.segments_applied += 1
+        self.stats.pages_applied += len(records)
+        self.stats.last_applied_sequence = seq
+        self.stall_reason = None
+        self._invalidate_query_db()
+        self._tracer.event("replica.apply", sequence=seq,
+                           pages=len(records))
+        return True
+
+    def _stall(self, reason):
+        self.stall_reason = reason
+
+    def _with_retry(self, what, fn):
+        """Run ``fn`` retrying TransientIOError with exponential backoff."""
+        attempts = 0
+        while True:
+            try:
+                result = fn()
+                if attempts:
+                    self.stats.apply_retries += 1
+                return result
+            except TransientIOError as exc:
+                self.stats.transient_errors += 1
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise ReplicationError(
+                        "%s failed after %d retries: %s"
+                        % (what, self.max_retries, exc)
+                    )
+                if self.backoff_seconds:
+                    time.sleep(self.backoff_seconds * (2 ** (attempts - 1)))
+
+    # -- read-only serving ---------------------------------------------------
+
+    @property
+    def database(self):
+        """A read-only :class:`~repro.core.database.XmlDatabase` view.
+
+        Reopened lazily after newly applied segments so queries always see
+        the latest applied commit.  Treat it as read-only: mutating a
+        standby forks its history from the primary's.
+        """
+        self._ensure_query_db()
+        return self._db
+
+    def query(self, path, **options):
+        """Evaluate a path/twig query against the standby's applied state."""
+        return self.database.query(path, **options)
+
+    def explain(self, path, **options):
+        return self.database.explain(path, **options)
+
+    def documents(self):
+        return self.database.documents()
+
+    def tags(self):
+        return self.database.tags()
+
+    def entries_for_tag(self, tag):
+        return self.database.entries_for_tag(tag)
+
+    def _ensure_query_db(self):
+        if self._db is None:
+            from repro.core.database import XmlDatabase
+
+            disk = FileDisk(self.path, self.page_size, durability="none")
+            self._db = XmlDatabase.open(disk=disk,
+                                        page_size=self.page_size,
+                                        buffer_pages=self.buffer_pages)
+
+    def _invalidate_query_db(self):
+        self._close_query_db()
+
+    def _close_query_db(self):
+        if self._db is not None:
+            self._db.close()
+            self._db = None
+
+    # -- failover ------------------------------------------------------------
+
+    def promote(self, allow_divergence=False, durability="archive",
+                archive_dir=None, **open_options):
+        """Catch up, verify convergence, and take over as primary.
+
+        Returns a *writable* :class:`~repro.core.database.XmlDatabase`
+        over the standby's file — in ``durability="archive"`` mode by
+        default, writing new history to its **own** archive directory
+        (never the old primary's, which a resurrected primary might still
+        touch).  Refuses with
+        :class:`~repro.storage.errors.DivergenceError` when the stream
+        has a gap or an interior corrupt segment, unless
+        ``allow_divergence=True`` accepts failing over at the
+        last-known-good sequence.  The replica stops tailing either way
+        once promotion succeeds.
+        """
+        self._require_standby()
+        with self._tracer.span("replica.promote", path=self.path):
+            self.catch_up()
+            if self.stall_reason is not None and not allow_divergence:
+                self.stats.divergence_refusals += 1
+                raise DivergenceError(
+                    "refusing to promote %s: %s (pass "
+                    "allow_divergence=True to fail over at sequence %d)"
+                    % (self.path, self.stall_reason,
+                       self.stats.last_applied_sequence)
+                )
+            from repro.core.database import XmlDatabase
+
+            self._close_query_db()
+            if not getattr(self._disk, "closed", True):
+                self._disk.close()
+            self.promoted = True
+            self.stats.failovers += 1
+            # A torn head segment is an unacknowledged commit; promotion
+            # abandons it, so the replica is by definition caught up.
+            self.stats.shipper_head_sequence = \
+                self.stats.last_applied_sequence
+            db = XmlDatabase.open(
+                self.path, page_size=self.page_size,
+                buffer_pages=self.buffer_pages, durability=durability,
+                archive_dir=archive_dir, **open_options)
+            db.attach_replication(self)
+            return db
+
+    # -- metrics -------------------------------------------------------------
+
+    def bind_metrics(self, registry):
+        """Mirror :attr:`stats` into pull-refreshed gauges on ``registry``.
+
+        Idempotent per registry; called automatically when the replica is
+        built with an observability hub and by
+        ``XmlDatabase.attach_replication``.
+        """
+        if registry in getattr(self, "_bound_registries", ()):
+            return registry
+        self._bound_registries = getattr(self, "_bound_registries", [])
+        self._bound_registries.append(registry)
+        gauges = {}
+        for name, help_text in (
+            ("repro_replication_lag_segments",
+             "Commit groups the standby is behind the shipped head"),
+            ("repro_replication_segments_shipped",
+             "Segments fetched from the log shipper (lifetime)"),
+            ("repro_replication_segments_applied",
+             "Segments applied to the standby (lifetime)"),
+            ("repro_replication_pages_applied",
+             "Page images applied to the standby (lifetime)"),
+            ("repro_replication_transient_errors",
+             "Transient ship/apply failures absorbed by retry"),
+            ("repro_replication_apply_retries",
+             "Ship/apply calls that needed at least one retry"),
+            ("repro_replication_torn_segments",
+             "Torn head segments skipped while tailing"),
+            ("repro_replication_divergence_refusals",
+             "Promotions refused on sequence gap or checksum mismatch"),
+            ("repro_replication_failovers",
+             "Successful standby promotions"),
+            ("repro_replication_last_applied_sequence",
+             "Commit sequence of the last applied group"),
+        ):
+            gauges[name] = registry.gauge(name, help_text)
+
+        def refresh(_registry):
+            s = self.stats
+            gauges["repro_replication_lag_segments"].set(s.lag_segments)
+            gauges["repro_replication_segments_shipped"].set(
+                s.segments_shipped)
+            gauges["repro_replication_segments_applied"].set(
+                s.segments_applied)
+            gauges["repro_replication_pages_applied"].set(s.pages_applied)
+            gauges["repro_replication_transient_errors"].set(
+                s.transient_errors)
+            gauges["repro_replication_apply_retries"].set(s.apply_retries)
+            gauges["repro_replication_torn_segments"].set(
+                s.torn_segments_seen)
+            gauges["repro_replication_divergence_refusals"].set(
+                s.divergence_refusals)
+            gauges["repro_replication_failovers"].set(s.failovers)
+            gauges["repro_replication_last_applied_sequence"].set(
+                s.last_applied_sequence)
+
+        registry.register_collector(refresh)
+        return registry

@@ -230,3 +230,88 @@ class TestFreeListPersistence:
             assert reused == {ids[1], ids[4]}
             fresh = disk.allocate()
             assert fresh not in ids
+
+
+class TestJournalDirectoryDurability:
+    def test_first_commit_fsyncs_parent_directory_once(self, tmp_path):
+        path = str(tmp_path / "d.db")
+        inner = FileDisk(path, page_size=256)
+        disk = FaultInjectingDisk(inner)
+        page = disk.allocate()
+        disk.write(page, b"v1")
+        inner.sync()
+        assert inner._journal.dir_fsyncs == 1  # journal entry made durable
+        disk.write(page, b"v2")
+        inner.sync()
+        assert inner._journal.dir_fsyncs == 1  # only the *first* commit
+        disk.close()
+
+    def test_preexisting_journal_needs_no_directory_fsync(self, tmp_path):
+        path = str(tmp_path / "d.db")
+        with FileDisk(path, page_size=256) as disk:
+            page = disk.allocate()
+            disk.write(page, b"v1")
+        # The journal file survives close (truncated), so its directory
+        # entry is already durable on reopen.
+        with FileDisk(path, page_size=256) as disk:
+            disk.write(page, b"v2")
+            disk.sync()
+            assert disk._journal.dir_fsyncs == 0
+
+    def test_crash_before_dir_fsync_still_recovers(self, tmp_path):
+        # A torn group written to a never-synced journal file is the worst
+        # case the dir fsync guards against: recovery must fall back to
+        # the pre-commit state, never half-apply.
+        path = str(tmp_path / "d.db")
+        inner = FileDisk(path, page_size=256)
+        disk = FaultInjectingDisk(inner)
+        page = disk.allocate()
+        disk.write(page, b"v1")
+        inner.sync()
+        disk.write(page, b"v2")
+        disk.kill_after = disk.op_counts["physical-write"] + 1
+        disk.torn_bytes = 5
+        with pytest.raises(CrashPoint):
+            inner.sync()
+        disk.abort()
+        with FileDisk(path, page_size=256) as reopened:
+            assert reopened.read(page).startswith(b"v1")
+
+
+class TestTornGroupAccounting:
+    def test_torn_trailing_group_is_counted_not_fatal(self, tmp_path):
+        path = str(tmp_path / "t.db")
+        inner = FileDisk(path, page_size=256)
+        disk = FaultInjectingDisk(inner)
+        page = disk.allocate()
+        disk.write(page, b"v1")
+        inner.sync()
+        disk.write(page, b"v2")
+        disk.kill_after = disk.op_counts["physical-write"] + 1
+        disk.torn_bytes = 4
+        with pytest.raises(CrashPoint):
+            inner.sync()
+        disk.abort()
+        with FileDisk(path, page_size=256) as reopened:
+            assert reopened.recovery_stats.torn_groups == 1
+            assert reopened.recovery_stats.discarded_groups == 1
+            assert reopened.read(page).startswith(b"v1")
+
+    def test_torn_groups_surface_in_database_stats_and_metrics(self, tmp_path):
+        path = str(tmp_path / "t.db")
+        db = XmlDatabase.create(path, page_size=PAGE_SIZE,
+                                buffer_pages=BUFFER_PAGES)
+        db.add_document(XML_A, name="a")
+        db.close()
+        # Fake the torn tail of a crashed commit: valid magic, garbage body.
+        with open(path + ".journal", "wb") as handle:
+            handle.write(b"XRJL" + b"\x07" * 30)
+        db = XmlDatabase.open(path, page_size=PAGE_SIZE,
+                              buffer_pages=BUFFER_PAGES)
+        try:
+            assert db.recovery_stats.torn_groups == 1
+            assert db.stats()["recovery"]["torn_groups"] == 1
+            assert "repro_journal_torn_groups 1" in db.metrics_text()
+            assert [n for _i, n in db.documents()] == ["a"]
+        finally:
+            db.close()

@@ -5,12 +5,14 @@ import pytest
 from repro.indexes.bptree import BPlusTree
 from repro.indexes.xrtree import XRTree, check_xrtree
 from repro.storage.buffer import BufferPool
-from repro.storage.disk import InMemoryDisk
+from repro.storage.disk import FileDisk, InMemoryDisk
 from repro.storage.errors import (
     BufferPoolError,
     ChecksumError,
     PageDecodeError,
+    TransientIOError,
 )
+from repro.storage.faults import FaultInjectingDisk
 from repro.storage.pages import PAGE_HEADER_SIZE, seal_image
 from tests.conftest import entry
 
@@ -141,3 +143,70 @@ class TestApiMisuse:
         disk.stats.reset()
         pool.reset_stats()
         assert tree.search(50) is not None  # still fully functional
+
+
+class TestTransientFaults:
+    def test_fail_next_raises_exactly_n_times(self, tmp_path):
+        disk = FaultInjectingDisk(
+            FileDisk(str(tmp_path / "t.db"), page_size=256))
+        page = disk.allocate()
+        disk.write(page, b"v1")
+        disk.sync()
+        disk.fail_next(2, "read")
+        for _ in range(2):
+            with pytest.raises(TransientIOError):
+                disk.read(page)
+        # The third attempt succeeds: transient means transient.
+        assert disk.read(page).startswith(b"v1")
+        assert disk.transient_injected == 2
+        disk.close()
+
+    def test_fail_next_zero_disarms(self, tmp_path):
+        disk = FaultInjectingDisk(
+            FileDisk(str(tmp_path / "t.db"), page_size=256))
+        page = disk.allocate()
+        disk.fail_next(3, "write")
+        disk.fail_next(0, "write")
+        disk.write(page, b"ok")  # no fault fires
+        disk.close()
+
+    def test_fail_next_rejects_unknown_op(self, tmp_path):
+        disk = FaultInjectingDisk(
+            FileDisk(str(tmp_path / "t.db"), page_size=256))
+        with pytest.raises(ValueError):
+            disk.fail_next(1, "format-disk")
+        disk.close()
+
+    def test_transient_fault_does_not_kill_the_wrapper(self, tmp_path):
+        disk = FaultInjectingDisk(
+            FileDisk(str(tmp_path / "t.db"), page_size=256))
+        page = disk.allocate()
+        disk.write(page, b"v1")
+        disk.fail_next(1, "physical-write")
+        with pytest.raises(TransientIOError):
+            disk.sync()
+        assert not disk.dead
+        disk.sync()  # retried commit succeeds
+        assert disk.read(page).startswith(b"v1")
+        disk.close()
+
+    def test_retried_archive_commit_reuses_its_sequence(self, tmp_path):
+        # A TransientIOError fires before any byte of the group is written,
+        # so the retry must reuse the sequence number — otherwise the
+        # archive grows a gap no standby could ever cross.
+        inner = FileDisk(str(tmp_path / "a.db"), page_size=256,
+                         durability="archive")
+        disk = FaultInjectingDisk(inner)
+        page = disk.allocate()
+        disk.write(page, b"v1")
+        disk.sync()
+        before = inner.commit_sequence
+        disk.write(page, b"v2")
+        disk.fail_next(1, "physical-write")
+        with pytest.raises(TransientIOError):
+            disk.sync()
+        assert inner.commit_sequence == before  # rolled back
+        disk.sync()
+        assert inner.commit_sequence == before + 1
+        assert inner.archive.sequences()[-1] == before + 1
+        disk.close()
