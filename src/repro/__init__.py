@@ -20,7 +20,9 @@ The package provides, from scratch:
 
 from repro.core import (
     ALGORITHMS,
+    DatabaseConfig,
     JoinOutcome,
+    Session,
     StorageContext,
     XmlDatabase,
     XRTreeIndex,
@@ -35,9 +37,11 @@ __all__ = [
     "ALGORITHMS",
     "AdmissionController",
     "CancellationToken",
+    "DatabaseConfig",
     "ElementEntry",
     "JoinOutcome",
     "QueryContext",
+    "Session",
     "StorageContext",
     "XmlDatabase",
     "XRTreeIndex",

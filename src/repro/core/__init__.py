@@ -1,5 +1,5 @@
-"""Public API: storage contexts, the XR-tree index facade and one-call
-structural joins."""
+"""Public API: storage contexts, the XR-tree index facade, one-call
+structural joins, databases and their query sessions."""
 
 from repro.core.api import (
     ALGORITHMS,
@@ -11,11 +11,16 @@ from repro.core.api import (
     build_xr_tree,
     structural_join,
 )
+from repro.core.config import DatabaseConfig
 from repro.core.database import XmlDatabase
+from repro.core.session import Session, SessionError
 
 __all__ = [
     "ALGORITHMS",
+    "DatabaseConfig",
     "JoinOutcome",
+    "Session",
+    "SessionError",
     "StorageContext",
     "XRTreeIndex",
     "XmlDatabase",

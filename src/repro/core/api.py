@@ -14,6 +14,7 @@ Typical use::
 import time
 from dataclasses import dataclass, field
 
+from repro.core.config import DatabaseConfig, merge_config
 from repro.indexes.bptree import BPlusTree
 from repro.indexes.xrtree import XRTree
 from repro.joins import nested_loop_join
@@ -46,12 +47,22 @@ class StorageContext:
 
         with StorageContext(path="corpus.pages") as context:
             ...
+
+    ``config`` takes a :class:`~repro.core.config.DatabaseConfig` carrying
+    page size, pool size, durability and time model in one object — the
+    same config every database entry point accepts.  The individual
+    kwargs remain supported (an explicit kwarg overrides the config) but
+    new code should prefer ``config=``; the per-option spellings are kept
+    for compatibility and may eventually go away.
     """
 
-    def __init__(self, page_size=DEFAULT_PAGE_SIZE,
-                 buffer_pages=DEFAULT_POOL_PAGES, path=None,
-                 time_model=None, disk=None, durability="journal",
-                 archive_dir=None):
+    def __init__(self, page_size=None, buffer_pages=None, path=None,
+                 time_model=None, disk=None, durability=None,
+                 archive_dir=None, config=None):
+        config = merge_config(config, page_size=page_size,
+                              buffer_pages=buffer_pages,
+                              durability=durability, time_model=time_model)
+        page_size = config.resolve("page_size", DEFAULT_PAGE_SIZE)
         if disk is not None:
             # An externally built disk (e.g. a FaultInjectingDisk wrapper,
             # or a FileDisk with a non-default durability mode).
@@ -63,24 +74,30 @@ class StorageContext:
             # sequence-numbered segments (in ``archive_dir``, default
             # ``<path>.archive``) — the stream backups, point-in-time
             # recovery and standby replicas consume.
-            self.disk = FileDisk(path, page_size, durability=durability,
+            self.disk = FileDisk(path, page_size,
+                                 durability=config.resolve("durability",
+                                                           "journal"),
                                  archive_dir=archive_dir)
-        self.pool = BufferPool(self.disk, buffer_pages)
-        self.time_model = time_model or DiskTimeModel()
+        self.pool = BufferPool(
+            self.disk, config.resolve("buffer_pages", DEFAULT_POOL_PAGES))
+        self.time_model = config.time_model or DiskTimeModel()
         self.indexes = None  # attached IndexManager, if any
 
     @classmethod
-    def from_pool(cls, pool, time_model=None):
+    def from_pool(cls, pool, time_model=None, config=None):
         """Wrap an existing buffer pool (and its disk) in a context.
 
         Lets measurement helpers run against structures that were built
         elsewhere — e.g. prebuilt join inputs handed to
-        :func:`structural_join`.
+        :func:`structural_join`.  Only the ``time_model`` of ``config``
+        applies here (the pool and its disk already exist); the explicit
+        ``time_model`` kwarg, kept for compatibility, wins over it.
         """
+        config = merge_config(config, time_model=time_model)
         context = cls.__new__(cls)
         context.disk = pool.disk
         context.pool = pool
-        context.time_model = time_model or DiskTimeModel()
+        context.time_model = config.time_model or DiskTimeModel()
         context.indexes = None
         return context
 
@@ -310,7 +327,8 @@ def _resolve_join_input(side, value, input_kind, pool, fill_factor):
 
 def structural_join(ancestors, descendants, algorithm="xr-stack",
                     parent_child=False, context=None, collect=True,
-                    fill_factor=1.0, runtime=None, profile=None):
+                    fill_factor=1.0, runtime=None, profile=None,
+                    cold=True):
     """Run one structural join end to end and measure it.
 
     ``ancestors`` and ``descendants`` are either start-sorted element-entry
@@ -322,9 +340,14 @@ def structural_join(ancestors, descendants, algorithm="xr-stack",
     Algorithms are resolved through :mod:`repro.joins.registry`, so
     registered extensions work alongside the built-in names.
 
-    Statistics are cleared before the join so it is measured cold —
-    matching the paper's per-run measurements — and a :class:`JoinOutcome`
-    is returned.
+    With ``cold=True`` (the default) the buffer pool is flushed and
+    cleared and the context's statistics reset before the join, so it is
+    measured cold — matching the paper's per-run measurements.  That is a
+    *global* side effect on the shared pool; callers joining inside a
+    live system (sessions, the server) pass ``cold=False``, which leaves
+    the pool and every counter untouched and measures the join purely by
+    before/after deltas — cached pages then legitimately count as hits.
+    A :class:`JoinOutcome` is returned either way.
 
     ``runtime`` is an optional :class:`~repro.query.runtime.QueryContext`;
     when given, the join honours its deadline, cancellation token, page
@@ -356,10 +379,15 @@ def structural_join(ancestors, descendants, algorithm="xr-stack",
                 "prebuilt inputs must live in the join context's buffer "
                 "pool; pass context=<their StorageContext> (or none at all)"
             )
-    pool.flush_all()
-    pool.clear()  # start the measured join with a cold buffer pool
-    build_misses = pool.stats.misses
-    context.reset_stats()
+    if cold:
+        pool.flush_all()
+        pool.clear()  # start the measured join with a cold buffer pool
+        build_misses = pool.stats.misses
+        context.reset_stats()
+        base = None
+    else:
+        base = pool.stats.snapshot()
+        build_misses = 0
     stats = JoinStats()
     if runtime is not None:
         runtime.start(pool)
@@ -386,16 +414,23 @@ def structural_join(ancestors, descendants, algorithm="xr-stack",
                                    parent_child=parent_child,
                                    collect=collect, stats=stats)
     wall = time.perf_counter() - started
+    if base is None:
+        measured = pool.stats
+        derived = context.derived_seconds(stats.elements_scanned)
+    else:
+        measured = pool.stats.delta(base)
+        derived = context.time_model.elapsed_seconds(
+            measured.misses, measured.writebacks, stats.elements_scanned)
     return JoinOutcome(
         algorithm=algorithm,
         pairs=pairs,
         stats=stats,
-        page_misses=pool.stats.misses,
-        writebacks=pool.stats.writebacks,
+        page_misses=measured.misses,
+        writebacks=measured.writebacks,
         wall_seconds=wall,
-        derived_seconds=context.derived_seconds(stats.elements_scanned),
+        derived_seconds=derived,
         build_page_misses=build_misses,
-        page_requests=pool.stats.requests,
+        page_requests=measured.requests,
     )
 
 

@@ -1,0 +1,69 @@
+"""One constructor story for every database entry point.
+
+Before this module, ``XmlDatabase.create/open``, ``StorageContext(...)``
+and ``StorageContext.from_pool`` each spelled storage options with their
+own kwargs and their own defaults.  :class:`DatabaseConfig` is the single
+spelling: build one, hand it to any entry point via ``config=``, and the
+options travel together::
+
+    config = DatabaseConfig(page_size=1024, buffer_pages=64,
+                            durability="archive")
+    db = XmlDatabase.create("corpus.db", config=config)
+    context = StorageContext(path="pages.bin", config=config)
+
+Every field defaults to None, meaning "use the entry point's own
+default" — ``StorageContext`` keeps its 100-frame pool and
+``XmlDatabase`` its 256-frame pool unless the config says otherwise, so
+adopting a config never silently changes behavior.  Old per-option
+kwargs still work everywhere and are *merged over* the config (an
+explicit kwarg wins, being the more specific statement), which is also
+how the legacy call shapes forward through this class unchanged.
+"""
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class DatabaseConfig:
+    """Storage and engine options shared by every database entry point.
+
+    ``None`` in any field means "the entry point's default".  Instances
+    are frozen — derive variants with :meth:`merged`.
+    """
+
+    page_size: int = None
+    buffer_pages: int = None
+    durability: str = None
+    handle_budget: int = None
+    time_model: object = None
+
+    def merged(self, **overrides):
+        """A copy with every non-None override applied.
+
+        Unknown option names raise — a typo in an option should never
+        pass silently as "use the default".
+        """
+        known = {f.name for f in fields(self)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise TypeError(
+                "unknown DatabaseConfig option(s): %s"
+                % ", ".join(sorted(unknown))
+            )
+        values = {name: getattr(self, name) for name in known}
+        for name, value in overrides.items():
+            if value is not None:
+                values[name] = value
+        return DatabaseConfig(**values)
+
+    def resolve(self, name, default):
+        """This config's value for ``name``, or ``default`` when unset."""
+        value = getattr(self, name)
+        return default if value is None else value
+
+
+def merge_config(config, **overrides):
+    """The effective config for one call: ``config`` (or an empty one)
+    with the call's explicit non-None kwargs merged over it."""
+    base = config if config is not None else DatabaseConfig()
+    return base.merged(**overrides)

@@ -33,6 +33,8 @@ the handle-cache counters.
 import json
 
 from repro.core.api import StorageContext
+from repro.core.config import merge_config
+from repro.core.session import Session
 from repro.obs import Observability
 from repro.query.engine import PathQueryEngine
 from repro.storage.catalog import Catalog
@@ -60,6 +62,8 @@ class XmlDatabase:
             IndexManager(catalog, pool=context.pool, capacity=handle_budget)
         )
         self._registry = self._load_registry()
+        self._sessions = set()
+        self._live_session = None
         self._engine = None
         self._scrubber = None
         self._admission = None
@@ -73,10 +77,17 @@ class XmlDatabase:
     # -- lifecycle ------------------------------------------------------------
 
     @classmethod
-    def create(cls, path=None, page_size=4096, buffer_pages=256,
-               handle_budget=DEFAULT_HANDLE_BUDGET, disk=None,
-               durability="journal", archive_dir=None):
+    def create(cls, path=None, page_size=None, buffer_pages=None,
+               handle_budget=None, disk=None, durability=None,
+               archive_dir=None, config=None):
         """Create a fresh database (in memory when ``path`` is None).
+
+        Storage options come from one :class:`~repro.core.config.\
+        DatabaseConfig` passed as ``config``; the per-option kwargs
+        (``page_size`` default 4096, ``buffer_pages`` default 256,
+        ``handle_budget``, ``durability`` default ``"journal"``) remain
+        accepted and win over the config when given — new code should
+        prefer the config object.
 
         Pass ``disk`` to supply a pre-built disk — e.g. a
         :class:`~repro.storage.faults.FaultInjectingDisk` wrapper or a
@@ -85,26 +96,46 @@ class XmlDatabase:
         ``archive_dir``, default ``<path>.archive``) for backups,
         point-in-time recovery and standby replication.
         """
-        context = StorageContext(page_size, buffer_pages, path=path,
-                                 disk=disk, durability=durability,
-                                 archive_dir=archive_dir)
+        config = merge_config(config, page_size=page_size,
+                              buffer_pages=buffer_pages,
+                              handle_budget=handle_budget,
+                              durability=durability)
+        context = StorageContext(
+            config.resolve("page_size", 4096),
+            config.resolve("buffer_pages", 256),
+            path=path, disk=disk,
+            durability=config.resolve("durability", "journal"),
+            archive_dir=archive_dir, time_model=config.time_model)
         catalog = Catalog.create(context.pool)
-        database = cls(context, catalog, handle_budget)
+        database = cls(context, catalog,
+                       config.resolve("handle_budget",
+                                      DEFAULT_HANDLE_BUDGET))
         database._save_registry()
         return database
 
     @classmethod
-    def open(cls, path=None, page_size=4096, buffer_pages=256,
-             handle_budget=DEFAULT_HANDLE_BUDGET, disk=None,
-             durability="journal", archive_dir=None):
-        """Reopen an existing database file (recovery runs on open)."""
+    def open(cls, path=None, page_size=None, buffer_pages=None,
+             handle_budget=None, disk=None, durability=None,
+             archive_dir=None, config=None):
+        """Reopen an existing database file (recovery runs on open).
+
+        Takes the same ``config``/kwargs contract as :meth:`create`.
+        """
         if path is None and disk is None:
             raise XmlDatabaseError("open() needs a path or a disk")
-        context = StorageContext(page_size, buffer_pages, path=path,
-                                 disk=disk, durability=durability,
-                                 archive_dir=archive_dir)
+        config = merge_config(config, page_size=page_size,
+                              buffer_pages=buffer_pages,
+                              handle_budget=handle_budget,
+                              durability=durability)
+        context = StorageContext(
+            config.resolve("page_size", 4096),
+            config.resolve("buffer_pages", 256),
+            path=path, disk=disk,
+            durability=config.resolve("durability", "journal"),
+            archive_dir=archive_dir, time_model=config.time_model)
         catalog = Catalog.open(context.pool)
-        return cls(context, catalog, handle_budget)
+        return cls(context, catalog,
+                   config.resolve("handle_budget", DEFAULT_HANDLE_BUDGET))
 
     @classmethod
     def restore(cls, backup_dir, path, archive_dir=None, upto_sequence=None,
@@ -137,8 +168,21 @@ class XmlDatabase:
         self._context.pool.flush_all()
 
     def close(self):
+        for session in list(self._sessions):
+            session.close()
+        if self._live_session is not None:
+            self._live_session.close()
         self.flush()
         self._context.close()
+
+    @property
+    def commit_sequence(self):
+        """The disk's committed-group sequence (0 before any commit).
+
+        Snapshot sessions pin exactly this number at open; comparing a
+        session's ``sequence`` against it gives that session's lag.
+        """
+        return self._context.disk.commit_sequence
 
     @property
     def index_stats(self):
@@ -275,8 +319,33 @@ class XmlDatabase:
             )
         return self._engine
 
+    def session(self, snapshot=True):
+        """Open a :class:`~repro.core.session.Session` — the query surface.
+
+        ``snapshot=True`` (the default) pins the last committed sequence:
+        the session keeps answering from that frozen state while writers
+        commit past it, and releases its pinned page versions on
+        ``close()`` (sessions are context managers).  ``snapshot=False``
+        returns a live session sharing this database's engine — it sees
+        staged writes, like :meth:`query` always has.
+
+        A fresh database that has never committed is flushed once first,
+        so the snapshot has a committed catalog to read.
+        """
+        if snapshot:
+            if self._context.disk.commit_sequence == 0:
+                self.flush()
+            session = Session(self, snapshot=True)
+            self._sessions.add(session)
+            return session
+        return Session(self, snapshot=False)
+
     def query(self, path, runtime=None, profile=None):
         """Evaluate a path/twig expression over the stored indexes.
+
+        A one-shot convenience over a live session — equivalent to
+        ``db.session(snapshot=False).query(...)``; concurrent readers
+        should hold a :meth:`session` instead.
 
         ``runtime`` is an optional
         :class:`~repro.query.runtime.QueryContext` imposing a deadline,
@@ -291,14 +360,12 @@ class XmlDatabase:
         :class:`~repro.obs.profile.QueryProfile` recording per-operator
         actuals; the filled profile also rides on ``result.profile``.
         """
-        if self._admission is None:
-            return self._ensure_engine().evaluate(path, runtime=runtime,
-                                                  profile=profile)
-        with self._admission.slot() as slot_runtime:
-            if runtime is None:
-                runtime = slot_runtime
-            return self._ensure_engine().evaluate(path, runtime=runtime,
-                                                  profile=profile)
+        return self._live().query(path, runtime=runtime, profile=profile)
+
+    def _live(self):
+        if self._live_session is None or self._live_session.closed:
+            self._live_session = Session(self, snapshot=False)
+        return self._live_session
 
     def attach_admission(self, controller):
         """Route queries through an admission controller; returns it."""
@@ -348,14 +415,18 @@ class XmlDatabase:
         only; None otherwise — including in-memory databases)."""
         return getattr(self._context.disk, "archive", None)
 
-    def explain(self, path, analyze=False, runtime=None):
+    def explain(self, path, analyze=False, runtime=None, profile=None):
         """The query engine's plan description for ``path``.
 
         ``analyze=True`` executes the query under a fresh profile and
         appends the measured per-operator actuals (EXPLAIN ANALYZE).
+        Passing your own ``profile`` implies ``analyze`` and records the
+        actuals into it — the same ``(runtime, profile)`` trio
+        :meth:`query` takes.  Like :meth:`query`, this is a one-shot
+        shim over a live :meth:`session`.
         """
-        return self._ensure_engine().explain(path, analyze=analyze,
-                                             runtime=runtime)
+        return self._live().explain(path, analyze=analyze,
+                                    runtime=runtime, profile=profile)
 
     # -- observability -------------------------------------------------------
 
@@ -514,6 +585,9 @@ class XmlDatabase:
               "Catalog entries found corrupt (lifetime)")
         gauge("repro_scrub_quarantined",
               "Structures currently quarantined")
+        gauge("repro_sessions_active", "Open snapshot sessions")
+        gauge("repro_snapshot_lag",
+              "Commits the oldest pinned snapshot trails the head by")
 
         def refresh(_registry):
             pool = self._context.pool.stats
@@ -547,6 +621,15 @@ class XmlDatabase:
                 gauges["repro_scrub_pages_read"].set(s["pages_read"])
                 gauges["repro_scrub_corrupt"].set(s["corrupt"])
                 gauges["repro_scrub_quarantined"].set(s["quarantined"])
+            gauges["repro_sessions_active"].set(len(self._sessions))
+            disk = self._context.disk
+            versions = getattr(disk, "versions", None)
+            lag = 0
+            if versions is not None:
+                oldest = versions.min_pinned()
+                if oldest is not None:
+                    lag = disk.commit_sequence - oldest
+            gauges["repro_snapshot_lag"].set(lag)
 
         m.register_collector(refresh)
 
@@ -630,6 +713,9 @@ class XmlDatabase:
         """Drop only the touched tag's query-engine caches."""
         if self._engine is not None:
             self._engine.invalidate_tag(tag)
+
+    def _forget_session(self, session):
+        self._sessions.discard(session)
 
     def _load_registry(self):
         from repro.storage.catalog import CatalogError

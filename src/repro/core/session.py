@@ -1,0 +1,211 @@
+"""Session — the query surface of :class:`~repro.core.database.XmlDatabase`.
+
+A session is where reads happen.  Two kinds exist behind one interface:
+
+* **snapshot sessions** (``db.session()``) pin the last committed
+  sequence and serve every query from that frozen state: their own
+  :class:`~repro.storage.snapshot.SnapshotDisk`, their own (unlatched)
+  buffer pool, their own catalog and index handles, their own query
+  engine.  Writers keep committing; the session keeps seeing its pinned
+  sequence until released.  Many snapshot sessions run concurrently, one
+  per server worker thread.
+* **live sessions** (``db.session(snapshot=False)``) share the
+  database's own engine and pool and therefore see staged, not-yet-
+  committed writes — the single-threaded behavior every pre-session
+  caller expects.  ``XmlDatabase.query``/``explain`` are thin shims over
+  one cached live session.
+
+Both kinds route queries through the database's
+:class:`~repro.query.admission.AdmissionController` (when attached),
+inherit its per-query deadlines/quotas, and feed the shared
+observability hub — a query is a query no matter which surface ran it.
+
+Sessions are context managers; releasing one frees its pinned page
+versions::
+
+    with db.session() as s:
+        r = s.query("//employee/name")
+        assert s.sequence <= db.commit_sequence
+"""
+
+import json
+
+from repro.core.api import StorageContext
+from repro.obs.trace import NULL_SPAN
+from repro.query.engine import PathQueryEngine
+from repro.storage.buffer import BufferPool
+from repro.storage.catalog import Catalog, CatalogError
+from repro.storage.indexmanager import IndexManager
+from repro.storage.snapshot import SnapshotDisk
+
+
+class SessionError(Exception):
+    """Session misuse: queries on a closed session, write attempts."""
+
+
+class Session:
+    """One client's query surface over a database.
+
+    Snapshot sessions expose ``sequence`` (the pinned commit sequence);
+    live sessions report ``sequence`` None.  All query entry points take
+    the shared ``(runtime=None, profile=None)`` trio.
+    """
+
+    def __init__(self, database, snapshot=True):
+        self._db = database
+        self._snapshot = snapshot
+        self._closed = False
+        self._disk = None
+        self._manager = None
+        self._engine = None
+        self._registry = None
+        self.queries_run = 0
+        if snapshot:
+            self._open_snapshot(database)
+            self.sequence = self._disk.sequence
+        else:
+            self.sequence = None
+
+    def _open_snapshot(self, database):
+        base_context = database._context
+        self._disk = SnapshotDisk(base_context.disk)
+        try:
+            pool = BufferPool(self._disk, base_context.pool.capacity,
+                              latching=False)
+            pool.tracer = database.observability.tracer
+            context = StorageContext.from_pool(
+                pool, time_model=base_context.time_model)
+            catalog = Catalog.open(pool)
+            self._manager = IndexManager(
+                catalog, pool=pool,
+                capacity=database._indexes.capacity)
+            try:
+                self._registry = json.loads(
+                    catalog.load_blob("__documents__"))
+            except CatalogError:
+                self._registry = {"documents": [], "tags": [],
+                                  "next_base": 0}
+            self._engine = PathQueryEngine(
+                self, context=context,
+                index_loader=self._load_tree,
+                observability=database.observability,
+            )
+        except BaseException:
+            self._disk.close()  # release the pin; a broken pin leaks COW
+            raise
+
+    def _load_tree(self, tag):
+        from repro.core.database import _tree_name
+
+        return self._manager.get_xrtree(_tree_name(tag))
+
+    # -- the query surface -----------------------------------------------------
+
+    def query(self, path, runtime=None, profile=None):
+        """Evaluate a path/twig expression in this session's view.
+
+        Snapshot sessions answer from the pinned sequence; live sessions
+        from the database's current (staged included) state.  Goes
+        through the database's admission controller when one is attached
+        — the query may be rejected under load and inherits the
+        controller's per-query runtime limits unless ``runtime`` is
+        given.
+        """
+        return self._run("query", path, runtime, profile,
+                         lambda engine, rt: engine.evaluate(
+                             path, runtime=rt, profile=profile))
+
+    def explain(self, path, analyze=False, runtime=None, profile=None):
+        """The engine's plan for ``path`` in this session's view.
+
+        Same trio as :meth:`query`; ``analyze=True`` (or a supplied
+        ``profile``) executes the query and appends measured actuals.
+        """
+        return self._run("explain", path, runtime, profile,
+                         lambda engine, rt: engine.explain(
+                             path, analyze=analyze, runtime=rt,
+                             profile=profile))
+
+    def entries_for_tag(self, tag):
+        """The corpus-wide element set for ``tag`` in this view."""
+        self._check_open()
+        if not self._snapshot:
+            return self._db.entries_for_tag(tag)
+        tree = self._load_tree(tag)
+        if tree is None:
+            return []
+        return list(tree.items())
+
+    def tags(self):
+        """Tags visible in this view."""
+        self._check_open()
+        if not self._snapshot:
+            return self._db.tags()
+        return list(self._registry["tags"])
+
+    def _run(self, kind, path, runtime, profile, call):
+        self._check_open()
+        engine = (self._engine if self._snapshot
+                  else self._db._ensure_engine())
+        tracer = self._db.observability.tracer
+        span = (tracer.span("session-%s" % kind, path=str(path),
+                            sequence=self.sequence,
+                            snapshot=self._snapshot)
+                if tracer is not None else NULL_SPAN)
+        admission = self._db._admission
+        self.queries_run += 1
+        with span:
+            if admission is None:
+                return call(engine, runtime)
+            with admission.slot() as slot_runtime:
+                return call(engine,
+                            runtime if runtime is not None
+                            else slot_runtime)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def is_snapshot(self):
+        return self._snapshot
+
+    @property
+    def closed(self):
+        return self._closed
+
+    @property
+    def scratch_pages(self):
+        """Pages the engine allocated in this session's private overlay."""
+        return self._disk.scratch_page_count if self._disk is not None else 0
+
+    def close(self):
+        """Release the snapshot pin and drop session state (idempotent).
+
+        Pre-commit page images retained only for this session become
+        prunable the moment the pin is released.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._db._forget_session(self)
+        if self._manager is not None:
+            # Session handles are read-only, so close() writes nothing
+            # back; it just invalidates the cache.
+            self._manager.close()
+        if self._disk is not None:
+            self._disk.close()
+
+    def _check_open(self):
+        if self._closed:
+            raise SessionError("session is closed")
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+
+    def __repr__(self):
+        state = "closed" if self._closed else "open"
+        if self._snapshot:
+            return "<Session snapshot seq=%d %s>" % (self.sequence, state)
+        return "<Session live %s>" % state

@@ -43,44 +43,54 @@ class MetricsError(Exception):
 
 
 class Counter:
-    """A monotonically increasing total."""
+    """A monotonically increasing total.
+
+    Safe to increment from any thread: server worker threads bump the
+    same query counters concurrently, and ``x += n`` on a plain attribute
+    is not atomic under the interpreter.
+    """
 
     kind = "counter"
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
 
     def __init__(self, name, help=""):
         self.name = name
         self.help = help
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount=1):
         if amount < 0:
             raise MetricsError("counter %r cannot decrease" % self.name)
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot_value(self):
         return self.value
 
 
 class Gauge:
-    """A point-in-time value (settable both ways)."""
+    """A point-in-time value (settable both ways, thread-safe)."""
 
     kind = "gauge"
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
 
     def __init__(self, name, help=""):
         self.name = name
         self.help = help
         self.value = 0
+        self._lock = threading.Lock()
 
     def set(self, value):
         self.value = value
 
     def inc(self, amount=1):
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount=1):
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def snapshot_value(self):
         return self.value
@@ -96,7 +106,8 @@ class Histogram:
     """
 
     kind = "histogram"
-    __slots__ = ("name", "help", "buckets", "bucket_counts", "sum", "count")
+    __slots__ = ("name", "help", "buckets", "bucket_counts", "sum", "count",
+                 "_lock")
 
     def __init__(self, name, help="", buckets=DEFAULT_LATENCY_BUCKETS):
         edges = tuple(float(edge) for edge in buckets)
@@ -120,16 +131,22 @@ class Histogram:
         self.bucket_counts = [0] * (len(edges) + 1)
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value):
-        """Record one observation (``value <= edge`` lands in that bucket)."""
-        self.sum += value
-        self.count += 1
-        for index, edge in enumerate(self.buckets):
-            if value <= edge:
-                self.bucket_counts[index] += 1
-                return
-        self.bucket_counts[-1] += 1
+        """Record one observation (``value <= edge`` lands in that bucket).
+
+        Thread-safe: concurrent server workers observe into the same
+        latency histograms.
+        """
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for index, edge in enumerate(self.buckets):
+                if value <= edge:
+                    self.bucket_counts[index] += 1
+                    return
+            self.bucket_counts[-1] += 1
 
     def cumulative(self):
         """``[(upper_edge, cumulative_count), ...]`` ending with +Inf."""

@@ -468,7 +468,7 @@ class PathQueryEngine:
                 op.rows_out = len(survivors)
         return survivors
 
-    def explain(self, path, analyze=False, runtime=None):
+    def explain(self, path, analyze=False, runtime=None, profile=None):
         """Describe how ``path`` would run — and, with ``analyze=True``,
         how it *did* run.
 
@@ -477,11 +477,15 @@ class PathQueryEngine:
         each operator and the estimated join cardinalities (sampled — see
         :mod:`repro.query.estimate`).
 
-        ``analyze=True`` additionally executes the query under a fresh
+        ``analyze=True`` additionally executes the query under a
         :class:`~repro.obs.profile.QueryProfile` (governed by ``runtime``
         when given) and appends the per-operator actuals, with the
         sampled estimate shown beside each join's measured pair count —
         EXPLAIN ANALYZE.  Without ``analyze`` no join is executed.
+
+        ``profile`` optionally supplies the profile to fill instead of a
+        fresh one — the same ``(runtime=None, profile=None)`` trio
+        :meth:`evaluate` takes; passing a profile implies ``analyze``.
         """
         from repro.query.estimate import estimate_join
 
@@ -524,9 +528,10 @@ class PathQueryEngine:
             lines.extend(self._explain_predicates(step, indent="  "))
             previous_tag = step.tag
             previous_entries = entries
-        if not analyze:
+        if not analyze and profile is None:
             return "\n".join(lines)
-        profile = QueryProfile(str(expression), self.strategy)
+        if profile is None:
+            profile = QueryProfile(str(expression), self.strategy)
         if runtime is None:
             runtime = QueryContext()
         runtime.profile = profile

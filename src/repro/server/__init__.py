@@ -1,0 +1,6 @@
+"""Concurrent serving front end: a thread-pool server over snapshot
+sessions, admission control and the observability hub."""
+
+from repro.server.server import Server, ServerError, ServerStats
+
+__all__ = ["Server", "ServerError", "ServerStats"]

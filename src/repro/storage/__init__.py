@@ -67,7 +67,9 @@ from repro.storage.pages import (
     register_page_type,
     seal_image,
 )
+from repro.storage.snapshot import SnapshotDisk
 from repro.storage.timemodel import DiskTimeModel
+from repro.storage.versions import PageVersionStore
 
 __all__ = [
     "Archive",
@@ -102,6 +104,8 @@ __all__ = [
     "PageDecodeError",
     "PageFullError",
     "PageNotFoundError",
+    "PageVersionStore",
+    "SnapshotDisk",
     "RawPage",
     "RecoveryError",
     "RecoveryStats",

@@ -8,6 +8,7 @@ results, since the paper reports that "the total elapsed time is dominated by
 the I/O's performed, more specifically, the number of page misses".
 """
 
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -148,6 +149,46 @@ class ClockPolicy:
 _POLICIES = {"lru": LruPolicy, "clock": ClockPolicy}
 
 
+class _Latch:
+    """Re-entrant pool latch that counts contended acquisitions.
+
+    The try-lock fast path means an uncontended acquire costs one C-level
+    call; only when another thread holds the latch does ``waits`` tick and
+    the blocking acquire begin.  ``waits`` is itself updated without a
+    lock — it is a diagnostic counter, and an occasional lost increment
+    is acceptable where an extra lock on the hot path is not.
+    """
+
+    __slots__ = ("_lock", "waits")
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.waits = 0
+
+    def __enter__(self):
+        if not self._lock.acquire(blocking=False):
+            self.waits += 1
+            self._lock.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._lock.release()
+        return False
+
+
+class _NullLatch:
+    """No-op latch for single-threaded pools (per-session pools)."""
+
+    __slots__ = ()
+    waits = 0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
 class BufferPool:
     """A fixed-capacity page cache with pin semantics.
 
@@ -155,9 +196,17 @@ class BufferPool:
     unpinned frames are eviction candidates.  Dirty frames are written back to
     disk on eviction and on :meth:`flush_all`.  The replacement policy is
     pluggable (``"lru"`` default, ``"clock"`` second-chance).
+
+    With ``latching=True`` (the default) every pool operation runs under a
+    single re-entrant latch, making the pool safe for concurrent callers
+    (the server's live sessions share the main pool).  Contended
+    acquisitions are counted in :attr:`latch_waits`.  Per-session snapshot
+    pools are built with ``latching=False`` — they are owned by one thread
+    and skip the latch entirely.
     """
 
-    def __init__(self, disk, capacity=DEFAULT_POOL_PAGES, policy="lru"):
+    def __init__(self, disk, capacity=DEFAULT_POOL_PAGES, policy="lru",
+                 latching=True):
         if capacity < 1:
             raise BufferPoolError("buffer pool needs at least one frame")
         if policy not in _POLICIES:
@@ -173,6 +222,12 @@ class BufferPool:
         self._policy = _POLICIES[policy]()
         self._frames = {}  # page_id -> Page
         self._pinned = 0   # frames with pin_count > 0 (kept incrementally)
+        self._latch = _Latch() if latching else _NullLatch()
+
+    @property
+    def latch_waits(self):
+        """Contended latch acquisitions since the pool was built."""
+        return self._latch.waits
 
     @property
     def page_size(self):
@@ -189,53 +244,57 @@ class BufferPool:
         id) instead of silently decoding garbage.
         """
         tracer = self.tracer
-        page = self._frames.get(page_id)
-        if page is not None:
-            self.stats.hits += 1
-            if tracer is not None and tracer.enabled:
-                tracer.event("page-fetch", page=page_id, hit=True)
-            self._policy.touched(page_id)
-        else:
-            self.stats.misses += 1
-            if tracer is not None and tracer.enabled:
-                tracer.event("page-fetch", page=page_id, hit=False)
-            self._make_room()
-            data = self.disk.read(page_id)
-            try:
-                page = Page.decode(data, self.disk.page_size)
-            except ChecksumError as exc:
-                raise ChecksumError("page %d: %s" % (page_id, exc),
-                                    page_id=page_id) from exc
-            page.page_id = page_id
-            self._frames[page_id] = page
-            self._policy.admitted(page_id)
-        if page.pin_count == 0:
-            self._note_pinned()
-        page.pin_count += 1
-        return page
+        with self._latch:
+            page = self._frames.get(page_id)
+            if page is not None:
+                self.stats.hits += 1
+                if tracer is not None and tracer.enabled:
+                    tracer.event("page-fetch", page=page_id, hit=True)
+                self._policy.touched(page_id)
+            else:
+                self.stats.misses += 1
+                if tracer is not None and tracer.enabled:
+                    tracer.event("page-fetch", page=page_id, hit=False)
+                self._make_room()
+                data = self.disk.read(page_id)
+                try:
+                    page = Page.decode(data, self.disk.page_size)
+                except ChecksumError as exc:
+                    raise ChecksumError("page %d: %s" % (page_id, exc),
+                                        page_id=page_id) from exc
+                page.page_id = page_id
+                self._frames[page_id] = page
+                self._policy.admitted(page_id)
+            if page.pin_count == 0:
+                self._note_pinned()
+            page.pin_count += 1
+            return page
 
     def new_page(self, page):
         """Allocate a disk page for ``page``, pin it and cache it."""
         if page.page_id is not None:
             raise BufferPoolError("page already has id %r" % (page.page_id,))
-        self._make_room()
-        page.page_id = self.disk.allocate()
-        page.dirty = True
-        page.pin_count = 1
-        self._note_pinned()
-        self._frames[page.page_id] = page
-        self._policy.admitted(page.page_id)
-        return page
+        with self._latch:
+            self._make_room()
+            page.page_id = self.disk.allocate()
+            page.dirty = True
+            page.pin_count = 1
+            self._note_pinned()
+            self._frames[page.page_id] = page
+            self._policy.admitted(page.page_id)
+            return page
 
     def unpin(self, page, dirty=False):
         """Release one pin on ``page``; ``dirty`` marks it modified."""
-        if page.pin_count <= 0:
-            raise BufferPoolError("unpin of page %r with no pins" % (page.page_id,))
-        if dirty:
-            page.dirty = True
-        page.pin_count -= 1
-        if page.pin_count == 0:
-            self._pinned -= 1
+        with self._latch:
+            if page.pin_count <= 0:
+                raise BufferPoolError(
+                    "unpin of page %r with no pins" % (page.page_id,))
+            if dirty:
+                page.dirty = True
+            page.pin_count -= 1
+            if page.pin_count == 0:
+                self._pinned -= 1
 
     @contextmanager
     def pinned(self, page_id):
@@ -251,17 +310,19 @@ class BufferPool:
 
         The caller must hold the only pin.
         """
-        if page.pin_count != 1:
-            raise BufferPoolError(
-                "freeing page %r with pin count %d" % (page.page_id, page.pin_count)
-            )
-        del self._frames[page.page_id]
-        self._policy.removed(page.page_id)
-        self.disk.free(page.page_id)
-        page.page_id = None
-        page.pin_count = 0
-        self._pinned -= 1
-        page.dirty = False
+        with self._latch:
+            if page.pin_count != 1:
+                raise BufferPoolError(
+                    "freeing page %r with pin count %d"
+                    % (page.page_id, page.pin_count)
+                )
+            del self._frames[page.page_id]
+            self._policy.removed(page.page_id)
+            self.disk.free(page.page_id)
+            page.page_id = None
+            page.pin_count = 0
+            self._pinned -= 1
+            page.dirty = False
 
     # -- maintenance ------------------------------------------------------------
 
@@ -272,27 +333,30 @@ class BufferPool:
         pages are staged into the write-ahead journal and ``sync()`` makes
         them durable as one atomic group.
         """
-        for page in self._frames.values():
-            if page.dirty:
-                self._writeback(page)
-        sync = getattr(self.disk, "sync", None)
-        if sync is not None:
-            sync()
+        with self._latch:
+            for page in self._frames.values():
+                if page.dirty:
+                    self._writeback(page)
+            sync = getattr(self.disk, "sync", None)
+            if sync is not None:
+                sync()
 
     def clear(self):
         """Flush and drop every frame; fails if any page is still pinned."""
-        for page in self._frames.values():
-            if page.pin_count:
-                raise BufferPoolError(
-                    "clear with page %r still pinned" % (page.page_id,)
-                )
-        self.flush_all()
-        for page_id in list(self._frames):
-            self._policy.removed(page_id)
-        self._frames.clear()
+        with self._latch:
+            for page in self._frames.values():
+                if page.pin_count:
+                    raise BufferPoolError(
+                        "clear with page %r still pinned" % (page.page_id,)
+                    )
+            self.flush_all()
+            for page_id in list(self._frames):
+                self._policy.removed(page_id)
+            self._frames.clear()
 
     def reset_stats(self):
-        self.stats.reset(pinned_now=self._pinned)
+        with self._latch:
+            self.stats.reset(pinned_now=self._pinned)
 
     def _note_pinned(self):
         """A frame's pin count just went 0 -> 1: update the high-water mark."""

@@ -18,6 +18,7 @@ which both implementations count exactly.
 
 import os
 import struct
+import threading
 import zlib
 from dataclasses import dataclass, field
 
@@ -28,6 +29,7 @@ from repro.storage.errors import (
     TransientIOError,
 )
 from repro.storage.journal import Archive, Journal
+from repro.storage.versions import PageVersionStore
 
 DEFAULT_PAGE_SIZE = 4096
 
@@ -73,6 +75,11 @@ class SimulatedDisk:
     is reserved so that 0 can serve as a nil pointer in on-disk structures.
     """
 
+    #: Whether :meth:`pin_snapshot` works on this disk.  Overridden by
+    #: :class:`FileDisk` for ``durability="none"`` (in-place writes destroy
+    #: committed images, so there is nothing consistent to pin).
+    supports_snapshots = True
+
     def __init__(self, page_size=DEFAULT_PAGE_SIZE):
         if page_size < 64:
             raise StorageError("page size %d is too small" % page_size)
@@ -80,6 +87,13 @@ class SimulatedDisk:
         self.stats = IOStats()
         self._next_page_id = 1
         self._freed = []
+        self._commit_seq = 0
+        #: Pre-commit page images retained for pinned snapshots.
+        self.versions = PageVersionStore()
+        #: Serializes commits against snapshot pin/read/release.  Held for
+        #: the whole apply so a concurrent reader can never see a torn or
+        #: half-applied commit group.
+        self._commit_lock = threading.RLock()
 
     # -- allocation ---------------------------------------------------------
 
@@ -126,6 +140,56 @@ class SimulatedDisk:
     def allocated_page_count(self):
         """Number of currently live (allocated, un-freed) pages."""
         return self._next_page_id - 1 - len(self._freed)
+
+    # -- snapshots -----------------------------------------------------------
+
+    @property
+    def commit_sequence(self):
+        """Sequence number of the last committed group."""
+        return self._commit_seq
+
+    def pin_snapshot(self):
+        """Pin the last committed sequence and return it.
+
+        Until the matching :meth:`release_snapshot`, :meth:`read_snapshot`
+        at the returned sequence keeps returning the page images that were
+        committed as of this call, no matter how many commit groups land
+        on top — the disk retains pre-commit copies of every page those
+        later commits overwrite.  Writes staged but not yet synced are
+        invisible to the pin, exactly as they would be to a crash.
+        """
+        if not self.supports_snapshots:
+            raise StorageError(
+                "snapshots need a commit point; durability=\"none\" writes "
+                "in place and cannot pin one"
+            )
+        with self._commit_lock:
+            return self.versions.pin(self._commit_seq)
+
+    def release_snapshot(self, sequence):
+        """Release one pin taken by :meth:`pin_snapshot`; pre-images kept
+        only for older pins are pruned immediately."""
+        with self._commit_lock:
+            self.versions.release(sequence)
+
+    def read_snapshot(self, page_id, sequence):
+        """Read a page as committed at pinned ``sequence``.
+
+        Counts as one physical read.  The caller must hold a pin on
+        ``sequence``; no liveness check is made against the *current*
+        allocation table, because a page freed after the pin is exactly
+        the kind of page a snapshot must still be able to read.
+        """
+        with self._commit_lock:
+            image = self.versions.lookup(page_id, sequence)
+            if image is None:
+                image = self._committed_image(page_id)
+            self.stats.reads += 1
+            return image
+
+    def _committed_image(self, page_id):
+        """The live committed image of a page (staged writes excluded)."""
+        raise NotImplementedError
 
     # -- test hooks ----------------------------------------------------------
 
@@ -178,26 +242,88 @@ class SimulatedDisk:
 
 
 class InMemoryDisk(SimulatedDisk):
-    """Disk whose pages live in a dictionary."""
+    """Disk whose pages live in a dictionary.
+
+    Writes are staged in ``_pending`` and folded into the committed page
+    dict by :meth:`sync`, mirroring :class:`FileDisk`'s journal-mode
+    commit points so snapshots (:meth:`pin_snapshot`) work identically on
+    both disks.  Unlike the file-backed disk there is no durability story
+    — ``sync`` never touches the filesystem — and reads always see staged
+    writes first, so single-threaded callers that never sync observe the
+    exact pre-staging behavior.
+    """
 
     def __init__(self, page_size=DEFAULT_PAGE_SIZE):
         super().__init__(page_size)
         self._pages = {}
+        self._pending = {}
+        self._pending_frees = set()
+
+    def sync(self):
+        """Fold staged writes and frees into the committed images as one
+        commit group; returns the number of pages committed."""
+        with self._commit_lock:
+            if not self._pending and not self._pending_frees:
+                return 0
+            self._commit_seq += 1
+            upto = self._commit_seq - 1
+            pinned = self.versions.pinned
+            for page_id, data in self._pending.items():
+                if pinned:
+                    old = self._pages.get(page_id)
+                    if old is not None:
+                        self.versions.record(page_id, upto, old)
+                self._pages[page_id] = data
+            for page_id in self._pending_frees:
+                old = self._pages.pop(page_id, None)
+                if pinned and old is not None:
+                    self.versions.record(page_id, upto, old)
+            committed = len(self._pending)
+            self._pending.clear()
+            self._pending_frees.clear()
+            return committed
 
     def _on_allocate(self, page_id):
-        self._pages[page_id] = bytes(self.page_size)
+        # Allocation stages zeroes like any other write: committed images
+        # change only at sync(), so a snapshot pinned mid-transaction
+        # still reads the old content of a recycled page id.
+        self._pending_frees.discard(page_id)
+        self._pending[page_id] = bytes(self.page_size)
 
     def _on_free(self, page_id):
-        del self._pages[page_id]
+        # The free itself is staged too — the committed image must stay
+        # readable (by snapshots pinned *after* this free but before the
+        # commit that contains it) until sync() retires it, recording the
+        # pre-image for any pins then outstanding.
+        with self._commit_lock:
+            self._pending.pop(page_id, None)
+            if page_id in self._pages:
+                self._pending_frees.add(page_id)
 
     def _read(self, page_id):
+        staged = self._pending.get(page_id)
+        if staged is not None:
+            return staged
         return self._pages[page_id]
 
     def _write(self, page_id, data):
+        self._pending[page_id] = data
+
+    def _poke(self, page_id, data):
+        """Corrupt the committed image, dropping any staged write."""
+        self._pending.pop(page_id, None)
         self._pages[page_id] = data
 
+    def _committed_image(self, page_id):
+        image = self._pages.get(page_id)
+        if image is None:
+            raise PageNotFoundError(page_id)
+        return image
+
     def _check_exists(self, page_id):
-        if page_id not in self._pages:
+        if page_id in self._pending:
+            return
+        if page_id not in self._pages or page_id in self._pending_frees:
             raise PageNotFoundError(page_id)
 
 
@@ -346,9 +472,10 @@ class FileDisk(SimulatedDisk):
         return self._archive
 
     @property
-    def commit_sequence(self):
-        """Sequence number of the last committed group."""
-        return self._commit_seq
+    def supports_snapshots(self):
+        # In-place writes destroy committed images the moment they land,
+        # so there is no stable state for a pin to name.
+        return self.journaled
 
     @property
     def path(self):
@@ -407,21 +534,26 @@ class FileDisk(SimulatedDisk):
             return 0
         if not self._pending and not self._meta_dirty:
             return 0
-        self._commit_seq += 1
-        records = dict(self._pending)
-        records[0] = self._superblock_image()
-        try:
-            if self._archive is not None:
-                self._archive.append(self._commit_seq, records)
-            else:
-                self._journal.commit(self._commit_seq, records)
-        except TransientIOError:
-            # Nothing became durable (the fault fires before any byte is
-            # written), so the sequence number must not be consumed — a
-            # retried sync() reuses it, keeping the archive gap-free.
-            self._commit_seq -= 1
-            raise
-        self._apply(records)
+        # The commit lock spans the whole commit — sequence bump through
+        # apply — so a concurrent pin_snapshot() can never name a sequence
+        # whose pages are not yet (or only half) in the data file.
+        with self._commit_lock:
+            self._commit_seq += 1
+            records = dict(self._pending)
+            records[0] = self._superblock_image()
+            try:
+                if self._archive is not None:
+                    self._archive.append(self._commit_seq, records)
+                else:
+                    self._journal.commit(self._commit_seq, records)
+            except TransientIOError:
+                # Nothing became durable (the fault fires before any byte
+                # is written), so the sequence number must not be consumed
+                # — a retried sync() reuses it, keeping the archive
+                # gap-free.
+                self._commit_seq -= 1
+                raise
+            self._apply(records, preimage_upto=self._commit_seq - 1)
         if self._journal is not None:
             self._journal.clear()
         self.durability_stats.commits += 1
@@ -434,15 +566,22 @@ class FileDisk(SimulatedDisk):
         self._meta_dirty = False
         return len(records)
 
-    def _apply(self, records):
-        for page_id in sorted(records):
-            image = records[page_id]
-            image, crash = self._filter_physical("apply", page_id, image)
-            os.pwrite(self._fd, image, page_id * self.page_size)
-            self.durability_stats.applied_pages += 1
-            if crash:
-                self._crash()
-        os.fsync(self._fd)
+    def _apply(self, records, preimage_upto=None):
+        with self._commit_lock:
+            if preimage_upto is not None and self.versions.pinned:
+                for page_id in records:
+                    if page_id == 0:
+                        continue  # snapshots never read the superblock
+                    self.versions.record(page_id, preimage_upto,
+                                         self._peek(page_id))
+            for page_id in sorted(records):
+                image = records[page_id]
+                image, crash = self._filter_physical("apply", page_id, image)
+                os.pwrite(self._fd, image, page_id * self.page_size)
+                self.durability_stats.applied_pages += 1
+                if crash:
+                    self._crash()
+            os.fsync(self._fd)
 
     def _filter_physical(self, kind, page_id, data):
         if self.fault_hook is None:
@@ -502,15 +641,18 @@ class FileDisk(SimulatedDisk):
             raise RecoveryError("%s has no superblock magic" % self._path)
         if version != _SUPERBLOCK_VERSION:
             raise RecoveryError("superblock version %d unsupported" % version)
-        struct.pack_into("<I", image, _SB_CRC_OFFSET, 0)
-        if zlib.crc32(bytes(image)) & 0xFFFFFFFF != stored_crc:
-            raise RecoveryError("superblock checksum mismatch in %s"
-                                % self._path)
+        # The page-size check must precede the CRC check: the checksum
+        # covers a full page of the *stored* size, so verifying it at
+        # the wrong size fails first and masks the real mismatch.
         if page_size != self.page_size:
             raise StorageError(
                 "%s was created with page size %d, opened with %d"
                 % (self._path, page_size, self.page_size)
             )
+        struct.pack_into("<I", image, _SB_CRC_OFFSET, 0)
+        if zlib.crc32(bytes(image)) & 0xFFFFFFFF != stored_crc:
+            raise RecoveryError("superblock checksum mismatch in %s"
+                                % self._path)
         freed = []
         offset = _SUPERBLOCK.size
         for _ in range(free_count):
@@ -617,8 +759,12 @@ class FileDisk(SimulatedDisk):
                 "apply_group sequence %d behind current commit %d"
                 % (sequence, self._commit_seq)
             )
-        self._apply(records)
-        self._load_superblock(count_stats=False)
+        with self._commit_lock:
+            # Pre-apply, this disk's state is its own commit sequence —
+            # pins taken here (a standby can serve snapshot reads too)
+            # keep images valid up to that sequence.
+            self._apply(records, preimage_upto=self._commit_seq)
+            self._load_superblock(count_stats=False)
         return len(records)
 
     def _peek_superblock_sequence(self):
@@ -686,6 +832,13 @@ class FileDisk(SimulatedDisk):
         if len(data) < self.page_size:
             data += b"\x00" * (self.page_size - len(data))
         return data
+
+    def _committed_image(self, page_id):
+        # Same as _peek: the data file holds exactly the committed images
+        # in journal/archive mode.  No liveness check — a page freed after
+        # the pin stays readable until a later commit overwrites it, and
+        # that overwrite records the pre-image first.
+        return self._peek(page_id)
 
     def _poke(self, page_id, data):
         """Corrupt the persisted image directly, bypassing the journal."""

@@ -40,6 +40,7 @@ Usage::
     manager.close()
 """
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -145,6 +146,12 @@ class IndexManager:
         self.stats = IndexManagerStats()
         self._handles = OrderedDict()  # name -> IndexHandle, LRU order
         self._closed = False
+        # Concurrent lookups are safe: the manager lock guards the cache
+        # map, and a per-name lock serializes the load path so two threads
+        # missing on the same tag cannot deserialize the catalog entry
+        # twice (double-checked under the name lock).
+        self._lock = threading.RLock()
+        self._name_locks = {}
 
     # -- generic handle access -------------------------------------------------
 
@@ -161,38 +168,60 @@ class IndexManager:
         self._check_open()
         if kind not in _KINDS:
             raise IndexManagerError("unknown structure kind %r" % kind)
-        handle = self._handles.get(name)
-        if handle is not None:
-            if handle.kind != kind:
-                raise IndexManagerError(
-                    "cached handle %r is a %s, not a %s"
-                    % (name, handle.kind, kind)
-                )
-            self.stats.hits += 1
-            self._handles.move_to_end(name)
+        with self._lock:
+            handle = self._cached(name, kind)
+            if handle is not None:
+                return handle
+            name_lock = self._name_locks.setdefault(name, threading.Lock())
+        with name_lock:
+            with self._lock:
+                # A racer may have loaded it while we waited on the
+                # name lock.
+                handle = self._cached(name, kind)
+                if handle is not None:
+                    return handle
+                self.stats.misses += 1
+            loader = getattr(self._catalog, _KINDS[kind][0])
+            try:
+                structure = loader(name)
+            except CatalogError:
+                if name in self._catalog.names():
+                    # Catalogued, but as another kind: surface the conflict
+                    # instead of shadowing the entry with a fresh structure.
+                    raise IndexManagerError(
+                        "catalogued structure %r is not a %s" % (name, kind)
+                    )
+                if factory is None:
+                    return None
+                structure = factory()
+                handle = IndexHandle(name, kind, structure,
+                                     dirty=True, persisted=False)
+            else:
+                handle = IndexHandle(name, kind, structure,
+                                     dirty=False, persisted=True)
+            with self._lock:
+                if handle.persisted:
+                    self.stats.loads += 1
+                else:
+                    self.stats.creations += 1
+                self._admit(handle)
             return handle
-        self.stats.misses += 1
-        loader = getattr(self._catalog, _KINDS[kind][0])
-        try:
-            structure = loader(name)
-        except CatalogError:
-            if name in self._catalog.names():
-                # Catalogued, but as another kind: surface the conflict
-                # instead of shadowing the entry with a fresh structure.
-                raise IndexManagerError(
-                    "catalogued structure %r is not a %s" % (name, kind)
-                )
-            if factory is None:
-                return None
-            structure = factory()
-            self.stats.creations += 1
-            handle = IndexHandle(name, kind, structure,
-                                 dirty=True, persisted=False)
-        else:
-            self.stats.loads += 1
-            handle = IndexHandle(name, kind, structure,
-                                 dirty=False, persisted=True)
-        self._admit(handle)
+
+    def _cached(self, name, kind):
+        """The resident handle for ``name`` (counted as a hit), or None.
+
+        Caller holds the manager lock.
+        """
+        handle = self._handles.get(name)
+        if handle is None:
+            return None
+        if handle.kind != kind:
+            raise IndexManagerError(
+                "cached handle %r is a %s, not a %s"
+                % (name, handle.kind, kind)
+            )
+        self.stats.hits += 1
+        self._handles.move_to_end(name)
         return handle
 
     def _admit(self, handle):
@@ -257,16 +286,19 @@ class IndexManager:
         ``get`` that returned it); raises if the handle is not cached.
         """
         self._check_open()
-        handle = self._handles.get(name)
-        if handle is None:
-            raise IndexManagerError(
-                "mark_dirty(%r): handle not resident; fetch it first" % name
-            )
-        handle.dirty = True
+        with self._lock:
+            handle = self._handles.get(name)
+            if handle is None:
+                raise IndexManagerError(
+                    "mark_dirty(%r): handle not resident; fetch it first"
+                    % name
+                )
+            handle.dirty = True
 
     def is_dirty(self, name):
-        handle = self._handles.get(name)
-        return bool(handle and handle.dirty)
+        with self._lock:
+            handle = self._handles.get(name)
+            return bool(handle and handle.dirty)
 
     def flush(self, name=None):
         """Write dirty handle metadata back to the catalog.
@@ -283,10 +315,12 @@ class IndexManager:
         anything else (e.g. an injected crash) propagates immediately.
         """
         self._check_open()
-        if name is not None:
-            handles = [self._handles[name]] if name in self._handles else []
-        else:
-            handles = list(self._handles.values())
+        with self._lock:
+            if name is not None:
+                handles = ([self._handles[name]]
+                           if name in self._handles else [])
+            else:
+                handles = list(self._handles.values())
         written = 0
         failures = []
         for handle in handles:
@@ -314,8 +348,9 @@ class IndexManager:
         from the catalog.  Unknown names are ignored.
         """
         self._check_open()
-        if self._handles.pop(name, None) is not None:
-            self.stats.invalidations += 1
+        with self._lock:
+            if self._handles.pop(name, None) is not None:
+                self.stats.invalidations += 1
 
     def drop(self, name):
         """Remove ``name`` entirely: the cached handle and the catalog entry.
@@ -325,9 +360,10 @@ class IndexManager:
         never written back, and names that are not resident.
         """
         self._check_open()
-        handle = self._handles.pop(name, None)
-        if handle is not None:
-            self.stats.invalidations += 1
+        with self._lock:
+            handle = self._handles.pop(name, None)
+            if handle is not None:
+                self.stats.invalidations += 1
         if handle is None or handle.persisted:
             try:
                 self._catalog.remove(name)
@@ -340,8 +376,9 @@ class IndexManager:
         if self._closed:
             return
         self.flush()
-        self._handles.clear()
-        self._closed = True
+        with self._lock:
+            self._handles.clear()
+            self._closed = True
 
     @property
     def closed(self):
@@ -363,5 +400,6 @@ class IndexManager:
 
     def resident(self):
         """Cached names in LRU order (oldest first), with dirty flags."""
-        return [(handle.name, handle.dirty)
-                for handle in self._handles.values()]
+        with self._lock:
+            return [(handle.name, handle.dirty)
+                    for handle in self._handles.values()]

@@ -1,0 +1,290 @@
+"""The redesigned client API: sessions, DatabaseConfig, the shared
+``(runtime, profile)`` trio, warm joins, and the serving front end."""
+
+import pytest
+
+from repro import DatabaseConfig, Session, XmlDatabase
+from repro.core.api import StorageContext, structural_join
+from repro.core.session import SessionError
+from repro.obs.profile import QueryProfile
+from repro.query.admission import AdmissionController, QueryRejected
+from repro.server import Server, ServerError
+from repro.storage.disk import InMemoryDisk
+from repro.storage.errors import StorageError
+from repro.storage.timemodel import DiskTimeModel
+
+XML_ONE = ("<department><employee><name>ada</name>"
+           "<email>a@x</email></employee></department>")
+XML_TWO = ("<department><employee><name>bob</name>"
+           "</employee></department>")
+
+
+@pytest.fixture
+def db():
+    database = XmlDatabase.create(page_size=512, buffer_pages=64)
+    yield database
+    database.close()
+
+
+def starts(result):
+    return sorted((e.doc_id, e.start) for e in result.matches)
+
+
+class TestSession:
+    def test_snapshot_session_is_frozen_at_open(self, db):
+        db.add_document(XML_ONE)
+        with db.session() as session:
+            before = starts(session.query("//employee/name"))
+            db.add_document(XML_TWO)
+            db.flush()
+            assert starts(session.query("//employee/name")) == before
+            assert len(starts(db.query("//employee/name"))) == 2
+        assert session.closed
+
+    def test_live_session_sees_staged_writes(self, db):
+        db.add_document(XML_ONE)
+        with db.session(snapshot=False) as session:
+            assert session.sequence is None
+            db.add_document(XML_TWO)  # staged, not committed
+            assert len(starts(session.query("//employee/name"))) == 2
+
+    def test_sequence_tracks_commit_sequence(self, db):
+        db.add_document(XML_ONE)
+        with db.session() as session:
+            assert session.sequence == db.commit_sequence
+            db.add_document(XML_TWO)
+            db.flush()
+            assert db.commit_sequence == session.sequence + 1
+
+    def test_closed_session_rejects_queries(self, db):
+        session = db.session()
+        session.close()
+        session.close()  # idempotent
+        with pytest.raises(SessionError):
+            session.query("//a/b")
+        with pytest.raises(SessionError):
+            session.tags()
+
+    def test_session_entry_surface_matches_database(self, db):
+        db.add_document(XML_ONE)
+        with db.session() as session:
+            assert session.tags() == db.tags()
+            for tag in db.tags():
+                assert session.entries_for_tag(tag) == \
+                    db.entries_for_tag(tag)
+            assert session.entries_for_tag("nonesuch") == []
+
+    def test_session_routes_through_admission(self, db):
+        db.add_document(XML_ONE)
+        controller = db.attach_admission(
+            AdmissionController(max_active=2, max_waiting=0))
+        with db.session() as session:
+            session.query("//employee/name")
+        assert controller.stats.admitted >= 1
+
+    def test_version_store_drains_after_release(self, db):
+        db.add_document(XML_ONE)
+        versions = db._context.disk.versions
+        with db.session():
+            db.add_document(XML_TWO)
+            db.flush()
+            assert versions.retained_images > 0
+        assert versions.pin_count == 0
+        assert versions.retained_images == 0
+
+    def test_session_gauges(self, db):
+        db.add_document(XML_ONE)
+        with db.session():
+            db.add_document(XML_TWO)
+            db.flush()
+            snap = db.metrics()
+            assert snap["repro_sessions_active"] == 1
+            assert snap["repro_snapshot_lag"] == 1
+        snap = db.metrics()
+        assert snap["repro_sessions_active"] == 0
+        assert snap["repro_snapshot_lag"] == 0
+
+    def test_unjournaled_disk_refuses_snapshots(self, tmp_path):
+        database = XmlDatabase.create(str(tmp_path / "d.db"),
+                                      page_size=512, durability="none")
+        try:
+            with pytest.raises(StorageError):
+                database.session()
+        finally:
+            database.close()
+
+    def test_fresh_database_bootstrap_commits(self):
+        database = XmlDatabase.create(page_size=512)
+        try:
+            assert database.commit_sequence == 0
+            with database.session() as session:
+                assert session.sequence == 1
+                assert session.tags() == []
+        finally:
+            database.close()
+
+    def test_database_close_releases_open_sessions(self):
+        database = XmlDatabase.create(page_size=512)
+        database.add_document(XML_ONE)
+        session = database.session()
+        database.close()
+        assert session.closed
+
+    def test_is_session_type(self, db):
+        with db.session() as session:
+            assert isinstance(session, Session)
+            assert session.is_snapshot
+            assert "snapshot" in repr(session)
+
+
+class TestExplainParity:
+    def test_profile_implies_analyze_everywhere(self, db):
+        db.add_document(XML_ONE)
+        profile = QueryProfile("//employee/name", "xr-stack")
+        text = db.explain("//employee/name", profile=profile)
+        assert "actual" in text or profile.operators
+        with db.session() as session:
+            session_profile = QueryProfile("//employee/name", "xr-stack")
+            session.explain("//employee/name", profile=session_profile)
+            assert session_profile.operators
+
+    def test_query_and_explain_share_the_trio(self, db):
+        db.add_document(XML_ONE)
+        import inspect
+
+        for owner in (db, db.session()):
+            for name in ("query", "explain"):
+                parameters = inspect.signature(
+                    getattr(owner, name)).parameters
+                assert "runtime" in parameters
+                assert "profile" in parameters
+
+
+class TestDatabaseConfig:
+    def test_config_reaches_the_disk(self):
+        config = DatabaseConfig(page_size=1024, buffer_pages=16)
+        database = XmlDatabase.create(config=config)
+        try:
+            assert database._context.disk.page_size == 1024
+            assert database._context.pool.capacity == 16
+        finally:
+            database.close()
+
+    def test_explicit_kwarg_wins_over_config(self):
+        config = DatabaseConfig(page_size=1024)
+        database = XmlDatabase.create(page_size=512, config=config)
+        try:
+            assert database._context.disk.page_size == 512
+        finally:
+            database.close()
+
+    def test_unknown_option_raises(self):
+        with pytest.raises(TypeError):
+            DatabaseConfig().merged(page_siez=512)
+
+    def test_storage_context_accepts_config(self):
+        model = DiskTimeModel()
+        config = DatabaseConfig(page_size=1024, buffer_pages=8,
+                                time_model=model)
+        context = StorageContext(config=config)
+        assert context.disk.page_size == 1024
+        assert context.pool.capacity == 8
+        assert context.time_model is model
+
+    def test_from_pool_accepts_config(self):
+        from repro.storage.buffer import BufferPool
+
+        model = DiskTimeModel()
+        pool = BufferPool(InMemoryDisk(page_size=512), capacity=4)
+        context = StorageContext.from_pool(
+            pool, config=DatabaseConfig(time_model=model))
+        assert context.time_model is model
+
+    def test_defaults_unchanged_without_config(self):
+        database = XmlDatabase.create()
+        try:
+            assert database._context.disk.page_size == 4096
+            assert database._context.pool.capacity == 256
+        finally:
+            database.close()
+
+
+class TestWarmJoin:
+    def test_cold_join_counts_build_separately(self, db):
+        db.add_document(XML_ONE)
+        ancestors = db.entries_for_tag("employee")
+        descendants = db.entries_for_tag("name")
+        cold = structural_join(ancestors, descendants,
+                               algorithm="xr-stack")
+        assert cold.pairs
+        warm = structural_join(ancestors, descendants,
+                               algorithm="xr-stack", cold=False)
+        assert warm.pairs == cold.pairs
+        assert warm.build_page_misses == 0
+
+    def test_warm_join_reuses_resident_pages(self):
+        context = StorageContext(page_size=512, buffer_pages=64)
+        entries_a = []
+        entries_d = []
+        db = XmlDatabase.create(page_size=512, buffer_pages=64)
+        db.add_document(XML_ONE)
+        entries_a = db.entries_for_tag("employee")
+        entries_d = db.entries_for_tag("name")
+        db.close()
+        first = structural_join(entries_a, entries_d, algorithm="b+",
+                                context=context, cold=False)
+        second = structural_join(entries_a, entries_d, algorithm="b+",
+                                 context=context, cold=False)
+        assert second.pairs == first.pairs
+        assert second.page_misses <= first.page_misses
+
+
+class TestServer:
+    def test_server_round_trip(self, db):
+        db.add_document(XML_ONE)
+        db.flush()
+        with Server(db, workers=2) as server:
+            result = server.query("//employee/name")
+            assert len(result.matches) == 1
+            text = server.explain("//employee/name").result(10)
+            assert "plan" in text
+        assert not server.running
+
+    def test_submit_requires_running_server(self, db):
+        server = Server(db, workers=1)
+        with pytest.raises(ServerError):
+            server.submit("//a/b")
+
+    def test_full_queue_sheds_load_without_blocking(self, db):
+        db.add_document(XML_ONE)
+        db.flush()
+        server = Server(db, workers=1, queue_depth=1)
+        # Not started: workers never drain, so the queue fills.
+        server._running = True
+        first = server.submit("//employee/name", block=False)
+        shed = None
+        for _ in range(3):  # qsize is advisory; fill until rejection
+            shed = server.submit("//employee/name", block=False)
+            if shed.done():
+                break
+        assert isinstance(shed.exception(0), QueryRejected)
+        assert server.stats.rejected >= 1
+        assert not first.done()  # queued, awaiting a worker
+
+    def test_server_metrics_registered(self, db):
+        db.add_document(XML_ONE)
+        db.flush()
+        with Server(db, workers=2) as server:
+            server.query("//employee/name")
+        snap = db.metrics()
+        assert snap["repro_server_requests_total"] == 1
+        assert snap["repro_server_latency_seconds"]["count"] == 1
+        assert "repro_server_requests_total" in db.metrics_text()
+
+    def test_snapshot_false_serves_staged_state(self, db):
+        db.add_document(XML_ONE)
+        db.flush()
+        with Server(db, workers=1) as server:
+            db.add_document(XML_TWO)  # staged only
+            live = server.query("//employee/name", snapshot=False)
+            assert len(live.matches) == 2
