@@ -1,0 +1,143 @@
+"""Per-backend health tracking: a state machine plus a circuit breaker.
+
+Every backend of a :class:`~repro.cluster.replicaset.ReplicaSet` — the
+primary and each standby — owns one :class:`BackendHealth` driven by
+probe outcomes:
+
+* ``healthy``: serving traffic; one probe failure moves it to
+  ``suspect`` (after ``suspect_after`` consecutive failures, default 1);
+* ``suspect``: still serving (ranked behind healthy peers) — one probe
+  success heals it back to ``healthy``, ``down_after`` consecutive
+  failures in total take it ``down``;
+* ``down``: receives **no traffic** and, while its circuit breaker is
+  open, no probes either.  After ``cooldown_seconds`` the breaker lets
+  exactly one probe through (half-open): success heals the backend to
+  ``healthy``, failure re-opens the breaker for another cooldown.
+
+A *fatal* failure (dead disk, crash point) skips the suspect ladder and
+opens the breaker immediately — there is no point probing a process that
+is gone every few milliseconds.
+
+The clock is injectable (:class:`~repro.storage.timemodel.SystemClock` /
+:class:`~repro.storage.timemodel.VirtualClock`), so breaker timing is
+testable in virtual time.  All methods are thread-safe: probes arrive
+from the heartbeat thread while client threads report request failures.
+"""
+
+import threading
+
+from repro.storage.timemodel import SystemClock
+
+#: The three health states, in degradation order.
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+DOWN = "down"
+
+#: How many state transitions one backend retains for introspection.
+TRANSITION_LOG_CAPACITY = 32
+
+
+class BackendHealth:
+    """The ``healthy → suspect → down`` state machine for one backend."""
+
+    def __init__(self, backend_id, suspect_after=1, down_after=3,
+                 cooldown_seconds=0.25, clock=None):
+        if suspect_after < 1:
+            raise ValueError("suspect_after must be at least 1")
+        if down_after < suspect_after:
+            raise ValueError("down_after must be >= suspect_after")
+        self.backend_id = backend_id
+        self.suspect_after = suspect_after
+        self.down_after = down_after
+        self.cooldown_seconds = cooldown_seconds
+        self.clock = clock if clock is not None else SystemClock()
+        self.state = HEALTHY
+        self.consecutive_failures = 0
+        self.lag_segments = 0
+        self.probes = 0
+        self.failures = 0
+        self.last_failure_reason = None
+        self.transitions = []
+        self._breaker_open_until = None
+        self._lock = threading.Lock()
+
+    # -- probe outcomes ------------------------------------------------------
+
+    def record_success(self, lag_segments=None):
+        """A probe (or served request) succeeded; heals suspect/down."""
+        with self._lock:
+            self.probes += 1
+            self.consecutive_failures = 0
+            self._breaker_open_until = None
+            if lag_segments is not None:
+                self.lag_segments = max(0, lag_segments)
+            if self.state != HEALTHY:
+                self._transition(HEALTHY, "probe succeeded")
+
+    def record_failure(self, reason, fatal=False):
+        """A probe or request against this backend failed.
+
+        ``fatal=True`` (dead disk, crash) goes straight to ``down`` and
+        opens the circuit breaker; otherwise failures walk the
+        ``suspect_after``/``down_after`` ladder.
+        """
+        with self._lock:
+            self.probes += 1
+            self.failures += 1
+            self.consecutive_failures += 1
+            self.last_failure_reason = str(reason)
+            if fatal or self.consecutive_failures >= self.down_after:
+                if self.state != DOWN:
+                    self._transition(DOWN, reason)
+                self._breaker_open_until = (
+                    self.clock.now() + self.cooldown_seconds)
+            elif (self.state == HEALTHY
+                    and self.consecutive_failures >= self.suspect_after):
+                self._transition(SUSPECT, reason)
+            elif self.state == DOWN:
+                # A failed half-open probe re-opens the breaker.
+                self._breaker_open_until = (
+                    self.clock.now() + self.cooldown_seconds)
+
+    def _transition(self, to_state, reason):
+        self.transitions.append({
+            "at": self.clock.now(),
+            "from": self.state,
+            "to": to_state,
+            "reason": str(reason),
+        })
+        del self.transitions[:-TRANSITION_LOG_CAPACITY]
+        self.state = to_state
+
+    # -- gating --------------------------------------------------------------
+
+    @property
+    def allows_traffic(self):
+        """May client requests be routed here?  (healthy or suspect)"""
+        return self.state != DOWN
+
+    @property
+    def allows_probe(self):
+        """May the monitor probe now?  Down backends are probed only
+        half-open: after the breaker cooldown has elapsed."""
+        if self.state != DOWN:
+            return True
+        until = self._breaker_open_until
+        return until is None or self.clock.now() >= until
+
+    def snapshot(self):
+        with self._lock:
+            return {
+                "backend": self.backend_id,
+                "state": self.state,
+                "lag_segments": self.lag_segments,
+                "consecutive_failures": self.consecutive_failures,
+                "probes": self.probes,
+                "failures": self.failures,
+                "last_failure": self.last_failure_reason,
+            }
+
+    def __repr__(self):
+        return ("BackendHealth(%r, %s, lag=%d, failures=%d)"
+                % (self.backend_id, self.state, self.lag_segments,
+                   self.consecutive_failures))

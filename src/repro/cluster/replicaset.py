@@ -1,0 +1,675 @@
+"""ReplicaSet: one writable primary, N warm standbys, and a supervisor
+that detects failure and heals the set.
+
+The composition layer over PR 5's replication primitives and PR 6's
+server: the **primary** is an archive-durability
+:class:`~repro.core.database.XmlDatabase` fronted by a
+:class:`~repro.server.Server` (snapshot sessions, admission, metrics);
+each **standby** is a :class:`~repro.storage.replication.StandbyReplica`
+tailing the primary's segment archive.  The replica set owns
+
+* **health monitoring** — :meth:`tick` runs one heartbeat round: it
+  pings the primary, tails + probes every standby, recomputes per-backend
+  lag against the acked commit sequence, and drives each backend's
+  ``healthy → suspect → down`` state machine
+  (:class:`~repro.cluster.health.BackendHealth`, with a circuit breaker
+  gating probes of down backends).  :meth:`start` runs ticks on a
+  background thread; tests call :meth:`tick` directly for determinism.
+
+* **the failover supervisor** — when the primary goes down (probe
+  failures, or a writer reporting a dead disk), :meth:`failover`
+  **fences** the old primary (stops its server, releases its descriptors
+  without committing), **elects** the least-lagged promotable standby,
+  drives :meth:`~repro.storage.replication.StandbyReplica.promote`
+  (reusing its divergence detection), fronts the promoted database with
+  a fresh server, re-points writes by swapping the topology view and
+  bumping the **epoch**, and finally rebuilds the surviving standbys
+  from a hot backup of the new primary so the set returns to full
+  strength.
+
+* **read candidates** — :meth:`read_candidates` is the routing surface
+  :class:`~repro.cluster.client.ClusterClient` consumes: backends whose
+  health admits traffic and whose applied sequence is within the
+  staleness bound of the acked head.
+
+Everything is surfaced as ``repro_cluster_*`` metrics and ``cluster.*``
+trace spans/events on the set's observability hub.
+"""
+
+import os
+import threading
+
+from repro.cluster.health import DOWN, HEALTHY, SUSPECT, BackendHealth
+from repro.obs import Observability
+from repro.server import Server
+from repro.storage.errors import StorageError
+from repro.storage.faults import CrashPoint
+from repro.storage.replication import LocalDirShipper, StandbyReplica
+from repro.storage.timemodel import SystemClock
+
+#: Default bound, in commit groups, on how far behind the acked head a
+#: backend may be and still serve reads.
+DEFAULT_STALENESS_BOUND = 1
+
+#: Default heartbeat interval for the background monitor thread.
+DEFAULT_TICK_INTERVAL = 0.02
+
+
+class ClusterError(Exception):
+    """Cluster-level failures (no primary, no electable standby, ...)."""
+
+
+class NoPrimaryError(ClusterError):
+    """There is currently no writable primary (failover in progress)."""
+
+
+class NoBackendAvailable(ClusterError):
+    """No backend can serve this request within its staleness bound."""
+
+
+def is_fatal_backend_error(exc, disk=None):
+    """Does ``exc`` mean the backend process/disk is *gone* (vs. merely
+    failing this request)?  Fatal errors skip the suspect ladder."""
+    if isinstance(exc, CrashPoint):
+        return True
+    if disk is not None and getattr(disk, "dead", False):
+        return True
+    return isinstance(exc, StorageError) and "dead" in str(exc)
+
+
+class PrimaryNode:
+    """The writable backend: a database plus its serving front end."""
+
+    role = "primary"
+
+    def __init__(self, node_id, database, server):
+        self.id = node_id
+        self.database = database
+        self.server = server
+        self.fenced = False
+        self.lock = threading.RLock()
+
+    @property
+    def applied_sequence(self):
+        return self.database.commit_sequence
+
+    def probe(self):
+        if self.fenced:
+            raise ClusterError("node %s is fenced" % self.id)
+        return self.database.ping()
+
+    def query(self, path, timeout=None, runtime=None):
+        if self.fenced:
+            raise ClusterError("node %s is fenced" % self.id)
+        return self.server.query(path, timeout=timeout, runtime=runtime)
+
+
+class StandbyNode:
+    """A read-only backend tailing the primary's archive."""
+
+    role = "standby"
+
+    def __init__(self, node_id, replica):
+        self.id = node_id
+        self.replica = replica
+        self.lock = threading.RLock()
+
+    @property
+    def applied_sequence(self):
+        return self.replica.applied_sequence
+
+    def query(self, path, timeout=None, runtime=None):
+        # Standby reads are serialized per node: the replica's lazily
+        # reopened query database is not a concurrent engine, and the
+        # monitor closes it when new segments apply.
+        with self.lock:
+            return self.replica.query(path, runtime=runtime)
+
+
+class _View:
+    """An immutable topology snapshot, swapped atomically on failover."""
+
+    __slots__ = ("epoch", "primary", "standbys")
+
+    def __init__(self, epoch, primary, standbys):
+        self.epoch = epoch
+        self.primary = primary
+        self.standbys = tuple(standbys)
+
+    @property
+    def nodes(self):
+        if self.primary is None:
+            return self.standbys
+        return (self.primary,) + self.standbys
+
+
+class ReplicaSet:
+    """One primary + N standbys with health monitoring and self-healing.
+
+    ``primary`` is an open (archive-durability, file-backed)
+    :class:`~repro.core.database.XmlDatabase`; ``standbys`` are
+    :class:`~repro.storage.replication.StandbyReplica` instances tailing
+    its archive.  ``scratch_dir`` is where post-failover rebuilds place
+    backups and rebuilt standby files — without one, surviving standbys
+    of the old timeline are dropped from the set instead of rebuilt.
+
+    The replica set owns the primary's :class:`~repro.server.Server`
+    (created and started here) and, on :meth:`close`, every database and
+    replica it still holds.
+    """
+
+    def __init__(self, primary, standbys=(), workers=2, queue_depth=128,
+                 staleness_bound=DEFAULT_STALENESS_BOUND,
+                 suspect_after=1, down_after=3, cooldown_seconds=0.25,
+                 tail_limit=16, scratch_dir=None,
+                 allow_divergent_failover=False, probe_path=None,
+                 observability=None, clock=None):
+        self.staleness_bound = staleness_bound
+        self.suspect_after = suspect_after
+        self.down_after = down_after
+        self.cooldown_seconds = cooldown_seconds
+        self.tail_limit = tail_limit
+        self.scratch_dir = scratch_dir
+        self.allow_divergent_failover = allow_divergent_failover
+        self.probe_path = probe_path
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.clock = clock if clock is not None else SystemClock()
+        self.observability = (observability if observability is not None
+                              else Observability())
+        server = Server(primary, workers=workers,
+                        queue_depth=queue_depth).start()
+        nodes = [PrimaryNode("node-0", primary, server)]
+        for index, replica in enumerate(standbys):
+            nodes.append(StandbyNode("node-%d" % (index + 1), replica))
+        self._view = _View(1, nodes[0], nodes[1:])
+        self._acked = primary.commit_sequence
+        self._ack_lock = threading.Lock()
+        self._health = {}
+        for node in nodes:
+            self._health[node.id] = self._new_health(node.id)
+        self._failover_lock = threading.RLock()
+        self._monitor = None
+        self._monitor_stop = threading.Event()
+        self._wake = threading.Event()
+        self._rr = 0
+        self.last_failover = None
+        self.closed = False
+        self._init_metrics()
+
+    def _new_health(self, node_id):
+        return BackendHealth(
+            node_id, suspect_after=self.suspect_after,
+            down_after=self.down_after,
+            cooldown_seconds=self.cooldown_seconds, clock=self.clock)
+
+    def _init_metrics(self):
+        m = self.observability.metrics
+        self._m_ticks = m.counter(
+            "repro_cluster_ticks_total", "Heartbeat rounds run")
+        self._m_probes = m.counter(
+            "repro_cluster_probes_total", "Backend probes attempted")
+        self._m_probe_failures = m.counter(
+            "repro_cluster_probe_failures_total", "Backend probes failed")
+        self._m_failovers = m.counter(
+            "repro_cluster_failovers_total", "Completed failovers")
+        self._m_failover_failures = m.counter(
+            "repro_cluster_failover_failures_total",
+            "Failover attempts that could not complete")
+        self._m_fencings = m.counter(
+            "repro_cluster_fencings_total", "Primaries fenced")
+        self._m_rebuilds = m.counter(
+            "repro_cluster_rebuilds_total",
+            "Standbys rebuilt onto the new timeline after failover")
+        self._m_dropped = m.counter(
+            "repro_cluster_dropped_standbys_total",
+            "Standbys dropped (no scratch_dir to rebuild into)")
+        self._m_epoch = m.gauge(
+            "repro_cluster_epoch", "Topology epoch (bumped per failover)")
+        self._m_epoch.set(1)
+        self._m_backends = m.gauge(
+            "repro_cluster_backends", "Backends in the replica set")
+        self._m_healthy = m.gauge(
+            "repro_cluster_backends_healthy", "Backends in state healthy")
+        self._m_suspect = m.gauge(
+            "repro_cluster_backends_suspect", "Backends in state suspect")
+        self._m_down = m.gauge(
+            "repro_cluster_backends_down", "Backends in state down")
+        self._m_max_lag = m.gauge(
+            "repro_cluster_max_lag_segments",
+            "Largest backend lag behind the acked head (segments)")
+        self._m_acked = m.gauge(
+            "repro_cluster_acked_sequence",
+            "Highest acknowledged commit sequence")
+        self._m_failover_seconds = m.histogram(
+            "repro_cluster_failover_seconds",
+            "Failover duration: detection to writes re-pointed")
+
+    # -- topology ------------------------------------------------------------
+
+    @property
+    def view(self):
+        return self._view
+
+    @property
+    def epoch(self):
+        return self._view.epoch
+
+    @property
+    def acked_sequence(self):
+        """Highest commit sequence a writer has been told is durable."""
+        return self._acked
+
+    def ack(self, sequence):
+        """Record a successfully flushed commit (monotonic)."""
+        with self._ack_lock:
+            if sequence > self._acked:
+                self._acked = sequence
+                self._m_acked.set(sequence)
+
+    def health_of(self, node_id):
+        return self._health[node_id]
+
+    def primary_for_write(self):
+        """The current ``(epoch, PrimaryNode)``, for one write attempt."""
+        view = self._view
+        node = view.primary
+        if node is None or node.fenced:
+            raise NoPrimaryError(
+                "no writable primary (epoch %d)" % view.epoch)
+        return view.epoch, node
+
+    def read_candidates(self, staleness_bound=None):
+        """Backends fit to serve a read, best first.
+
+        A backend qualifies when its health admits traffic **and** its
+        applied sequence is within ``staleness_bound`` commit groups of
+        the acked head (checked at dispatch time, so a stalled replica
+        that still answers probes is excluded the moment it falls too far
+        behind).  Healthy backends come before suspect ones, less lag
+        first; equals rotate round-robin.
+        """
+        bound = (self.staleness_bound if staleness_bound is None
+                 else staleness_bound)
+        acked = self._acked
+        ranked = []
+        for node in self._view.nodes:
+            if getattr(node, "fenced", False):
+                continue
+            health = self._health.get(node.id)
+            if health is None or not health.allows_traffic:
+                continue
+            lag = max(0, acked - node.applied_sequence)
+            if lag > bound:
+                continue
+            ranked.append((0 if health.state == HEALTHY else 1, lag, node))
+        self._rr += 1
+        offset = self._rr
+        ranked.sort(key=lambda item: (item[0], item[1]))
+        nodes = [node for _state, _lag, node in ranked]
+        if len(nodes) > 1:
+            # Rotate equals so one healthy backend does not take every read.
+            pivot = offset % len(nodes)
+            nodes = nodes[pivot:] + nodes[:pivot]
+            nodes.sort(key=lambda n: max(0, acked - n.applied_sequence))
+        return nodes
+
+    def report_backend_failure(self, node_id, exc, fatal=None):
+        """A client saw ``exc`` talking to ``node_id``; feed the health
+        machine and wake the monitor (fast detection beats waiting one
+        heartbeat)."""
+        health = self._health.get(node_id)
+        if health is None:
+            return
+        if fatal is None:
+            fatal = is_fatal_backend_error(exc)
+        health.record_failure(exc, fatal=fatal)
+        self.observability.tracer.event(
+            "cluster.backend-failure", backend=node_id, error=str(exc),
+            fatal=bool(fatal))
+        self._wake.set()
+
+    # -- heartbeat -----------------------------------------------------------
+
+    def tick(self):
+        """One heartbeat round; returns a status summary dict.
+
+        Probes the primary, tails + probes each standby, refreshes the
+        health gauges, and — when the primary is down — runs failover.
+        """
+        self._m_ticks.inc()
+        view = self._view
+        if view.primary is not None:
+            self._probe_primary(view.primary)
+        for node in view.standbys:
+            self._tail_and_probe(node)
+        self._refresh_gauges()
+        primary = self._view.primary
+        if primary is not None:
+            health = self._health[primary.id]
+            if health.state == DOWN:
+                try:
+                    self.failover("primary %s is down: %s"
+                                  % (primary.id, health.last_failure_reason))
+                except ClusterError:
+                    pass  # no promotable standby yet; retried next tick
+        return self.status()
+
+    def _probe_primary(self, node):
+        health = self._health[node.id]
+        if not health.allows_probe:
+            return
+        self._m_probes.inc()
+        try:
+            with node.lock:
+                sequence = node.probe()
+            if self.probe_path is not None:
+                node.query(self.probe_path, timeout=1.0)
+            health.record_success(lag_segments=0)
+            if sequence is not None:
+                # Everything at or below the primary's commit sequence is
+                # durable, whether or not it came through a ClusterClient.
+                self.ack(sequence)
+        except BaseException as exc:
+            self._m_probe_failures.inc()
+            fatal = is_fatal_backend_error(
+                exc, disk=node.database._context.disk)
+            health.record_failure(exc, fatal=fatal)
+            self.observability.tracer.event(
+                "cluster.probe-failure", backend=node.id, error=str(exc),
+                fatal=bool(fatal))
+
+    def _tail_and_probe(self, node):
+        health = self._health[node.id]
+        if not health.allows_probe:
+            return
+        self._m_probes.inc()
+        try:
+            with node.lock:
+                node.replica.catch_up(limit=self.tail_limit)
+            lag = max(0, self._acked - node.applied_sequence)
+            health.record_success(lag_segments=lag)
+        except BaseException as exc:
+            self._m_probe_failures.inc()
+            health.record_failure(exc, fatal=isinstance(exc, CrashPoint))
+            self.observability.tracer.event(
+                "cluster.probe-failure", backend=node.id, error=str(exc))
+
+    def _refresh_gauges(self):
+        states = {HEALTHY: 0, SUSPECT: 0, DOWN: 0}
+        max_lag = 0
+        nodes = self._view.nodes
+        for node in nodes:
+            health = self._health.get(node.id)
+            if health is None:
+                continue
+            states[health.state] += 1
+            max_lag = max(max_lag, health.lag_segments)
+        self._m_backends.set(len(nodes))
+        self._m_healthy.set(states[HEALTHY])
+        self._m_suspect.set(states[SUSPECT])
+        self._m_down.set(states[DOWN])
+        self._m_max_lag.set(max_lag)
+        self._m_epoch.set(self._view.epoch)
+
+    # -- failover ------------------------------------------------------------
+
+    def failover(self, reason):
+        """Fence the primary, promote the best standby, re-point writes.
+
+        Single-flight: concurrent callers (monitor tick plus a writer
+        reporting the same death) collapse into one transition.  Returns
+        the new epoch.  Raises :class:`ClusterError` when no standby is
+        promotable — the set then has **no** primary and the next tick
+        retries (a down standby may heal through its circuit breaker).
+        """
+        with self._failover_lock:
+            view = self._view
+            old_primary = view.primary
+            if old_primary is None or getattr(old_primary, "_failed_over",
+                                              False):
+                return view.epoch
+            detected_at = self.clock.now()
+            tracer = self.observability.tracer
+            with tracer.span("cluster.failover", epoch=view.epoch,
+                             reason=str(reason)):
+                self._fence(old_primary)
+                elected = self._elect(view)
+                if elected is None:
+                    self._m_failover_failures.inc()
+                    # Leave a headless view: reads may continue from
+                    # standbys within their staleness bound.
+                    self._view = _View(view.epoch, None,
+                                       view.standbys)
+                    old_primary._failed_over = True
+                    raise ClusterError(
+                        "failover: no promotable standby "
+                        "(all down or none attached)")
+                with elected.lock:
+                    promoted_db = elected.replica.promote(
+                        allow_divergence=self.allow_divergent_failover)
+                server = Server(promoted_db, workers=self.workers,
+                                queue_depth=self.queue_depth).start()
+                new_primary = PrimaryNode(elected.id, promoted_db, server)
+                survivors = [node for node in view.standbys
+                             if node is not elected]
+                new_epoch = view.epoch + 1
+                self._health[elected.id] = self._new_health(elected.id)
+                self.ack(max(self._acked, promoted_db.commit_sequence))
+                # Writes re-point here: the old epoch's view is gone.
+                self._view = _View(new_epoch, new_primary, survivors)
+                old_primary._failed_over = True
+                elapsed = self.clock.now() - detected_at
+                self._m_failovers.inc()
+                self._m_failover_seconds.observe(elapsed)
+                self._m_epoch.set(new_epoch)
+                self.last_failover = {
+                    "epoch": new_epoch,
+                    "reason": str(reason),
+                    "detected_at": detected_at,
+                    "elected": elected.id,
+                    "promoted_sequence": promoted_db.commit_sequence,
+                    "duration_seconds": elapsed,
+                    "rebuilt": 0,
+                    "dropped": 0,
+                }
+                tracer.event("cluster.promoted", backend=elected.id,
+                             epoch=new_epoch,
+                             sequence=promoted_db.commit_sequence,
+                             seconds=elapsed)
+                # Heal the set: survivors tail the dead timeline and can
+                # only fall behind — rebuild them from the new primary.
+                self._rebuild_survivors(new_primary, survivors, new_epoch)
+            return new_epoch
+
+    def _fence(self, node):
+        """Stop the old primary serving and release its descriptors
+        without letting it commit anything further."""
+        node.fenced = True
+        self._m_fencings.inc()
+        self.observability.tracer.event("cluster.fenced", backend=node.id)
+        try:
+            node.server.stop()
+        except BaseException:
+            pass  # workers on a dead disk may be failing; they are daemons
+        try:
+            node.database.abandon()
+        except BaseException:
+            pass
+
+    def _elect(self, view):
+        """The least-lagged standby whose health admits traffic (or any
+        standby at all when every one is down — a lagging primary beats
+        none)."""
+        candidates = [node for node in view.standbys
+                      if self._health[node.id].allows_traffic]
+        if not candidates:
+            candidates = [node for node in view.standbys
+                          if not self._health[node.id].allows_traffic
+                          and not getattr(node.replica, "promoted", False)]
+            candidates = [node for node in candidates
+                          if not getattr(node.replica._disk, "dead", False)]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda node: node.applied_sequence)
+
+    def _rebuild_survivors(self, new_primary, survivors, epoch):
+        if not survivors:
+            return
+        if self.scratch_dir is None:
+            for node in survivors:
+                self._drop_standby(node, epoch)
+            return
+        backup_dir = os.path.join(self.scratch_dir,
+                                  "failover-e%d-backup" % epoch)
+        try:
+            new_primary.database.hot_backup(backup_dir)
+        except BaseException as exc:
+            self.observability.tracer.event(
+                "cluster.rebuild-failed", error=str(exc), epoch=epoch)
+            return
+        for node in survivors:
+            self._rebuild_standby(node, new_primary, backup_dir, epoch)
+
+    def _rebuild_standby(self, node, new_primary, backup_dir, epoch):
+        """Re-bootstrap one survivor from the new primary's backup."""
+        old = node.replica
+        path = os.path.join(self.scratch_dir,
+                            "%s-e%d.db" % (node.id, epoch))
+        if os.path.exists(path):
+            os.remove(path)
+        shipper = LocalDirShipper(new_primary.database.archive.directory,
+                                  old.page_size)
+        try:
+            replica = StandbyReplica.from_backup(
+                backup_dir, path, shipper, page_size=old.page_size,
+                buffer_pages=old.buffer_pages, max_retries=old.max_retries,
+                backoff_seconds=old.backoff_seconds,
+                max_backoff_seconds=old.max_backoff_seconds,
+                clock=old.clock)
+        except BaseException as exc:
+            self.observability.tracer.event(
+                "cluster.rebuild-failed", backend=node.id, error=str(exc))
+            self._drop_standby(node, epoch)
+            return
+        rebuilt = StandbyNode(node.id, replica)
+        self._health[node.id] = self._new_health(node.id)
+        view = self._view
+        standbys = [rebuilt if n.id == node.id else n
+                    for n in view.standbys]
+        self._view = _View(view.epoch, view.primary, standbys)
+        with node.lock:  # wait out any in-flight read on the old replica
+            try:
+                old.close()
+            except BaseException:
+                pass
+        self._m_rebuilds.inc()
+        if self.last_failover is not None:
+            self.last_failover["rebuilt"] += 1
+        self.observability.tracer.event(
+            "cluster.rebuilt", backend=node.id, epoch=epoch)
+
+    def _drop_standby(self, node, epoch):
+        view = self._view
+        self._view = _View(view.epoch, view.primary,
+                           [n for n in view.standbys if n.id != node.id])
+        with node.lock:
+            try:
+                node.replica.close()
+            except BaseException:
+                pass
+        self._m_dropped.inc()
+        if self.last_failover is not None:
+            self.last_failover["dropped"] += 1
+        self.observability.tracer.event(
+            "cluster.standby-dropped", backend=node.id, epoch=epoch)
+
+    # -- background monitor ----------------------------------------------------
+
+    def start(self, interval=DEFAULT_TICK_INTERVAL):
+        """Run :meth:`tick` on a background thread every ``interval``
+        seconds (sooner when a client reports a failure); returns self."""
+        if self._monitor is not None:
+            return self
+        self._monitor_stop.clear()
+
+        def loop():
+            while not self._monitor_stop.is_set():
+                try:
+                    self.tick()
+                except Exception:
+                    pass  # the monitor must survive anything a tick hits
+                self._wake.wait(interval)
+                self._wake.clear()
+
+        self._monitor = threading.Thread(
+            target=loop, name="repro-cluster-monitor", daemon=True)
+        self._monitor.start()
+        return self
+
+    def stop_monitor(self):
+        if self._monitor is None:
+            return
+        self._monitor_stop.set()
+        self._wake.set()
+        self._monitor.join()
+        self._monitor = None
+
+    # -- introspection ---------------------------------------------------------
+
+    def status(self):
+        """One nested dict describing the whole set (for operators/tests)."""
+        view = self._view
+        backends = []
+        for node in view.nodes:
+            health = self._health.get(node.id)
+            entry = {
+                "id": node.id,
+                "role": node.role,
+                "applied_sequence": node.applied_sequence,
+                "lag": max(0, self._acked - node.applied_sequence),
+            }
+            if health is not None:
+                entry.update(health.snapshot())
+            backends.append(entry)
+        return {
+            "epoch": view.epoch,
+            "acked_sequence": self._acked,
+            "primary": view.primary.id if view.primary else None,
+            "backends": backends,
+            "last_failover": self.last_failover,
+        }
+
+    def metrics_text(self):
+        return self.observability.render_prometheus()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self):
+        """Stop the monitor and every node this set still owns."""
+        if self.closed:
+            return
+        self.closed = True
+        self.stop_monitor()
+        view = self._view
+        self._view = _View(view.epoch, None, ())
+        if view.primary is not None and not view.primary.fenced:
+            try:
+                view.primary.server.stop()
+                view.primary.database.close()
+            except BaseException:
+                try:
+                    view.primary.database.abandon()
+                except BaseException:
+                    pass
+        for node in view.standbys:
+            try:
+                node.replica.close()
+            except BaseException:
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()

@@ -160,6 +160,24 @@ class StorageContext:
                 self.pool.flush_all()
             close()
 
+    def abandon(self):
+        """Release resources *without* committing anything.
+
+        The fencing teardown: no index write-back, no pool flush, no
+        final journal group — file descriptors are released through the
+        disk's ``abort()`` (or ``close()`` when it has none), so it is
+        safe on a disk that crashed mid-commit and must not be allowed
+        to ack state on behalf of a node that is being fenced off.
+        Idempotent, and never raises for a dead disk.
+        """
+        abort = getattr(self.disk, "abort", None)
+        if abort is not None:
+            abort()
+            return
+        close = getattr(self.disk, "close", None)
+        if close is not None and not getattr(self.disk, "closed", False):
+            close()
+
     def __enter__(self):
         return self
 

@@ -175,6 +175,38 @@ class XmlDatabase:
         self.flush()
         self._context.close()
 
+    def abandon(self):
+        """Tear down *without* committing — the fenced-node teardown.
+
+        Drops sessions and releases file descriptors through
+        :meth:`StorageContext.abandon`; nothing is flushed, so a node
+        whose disk already failed cannot acknowledge state on the way
+        out.  Safe to call on a database whose disk is dead.
+        """
+        self._sessions.clear()
+        self._live_session = None
+        self._context.abandon()
+
+    def ping(self):
+        """Cheap liveness probe; returns the committed sequence.
+
+        Verifies the storage below still answers by reading the document
+        registry through the catalog (a real page path, though typically
+        buffer-pool cached) and raises
+        :class:`~repro.storage.errors.StorageError` when the disk has
+        been killed by fault injection — the health-check hook cluster
+        monitors drive.
+        """
+        from repro.storage.errors import StorageError
+
+        disk = self._context.disk
+        if getattr(disk, "dead", False):
+            raise StorageError("disk is dead")
+        if getattr(disk, "closed", False):
+            raise StorageError("disk is closed")
+        self._catalog.load_blob(_REGISTRY)
+        return self.commit_sequence
+
     @property
     def commit_sequence(self):
         """The disk's committed-group sequence (0 before any commit).

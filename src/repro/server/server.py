@@ -47,7 +47,7 @@ class ServerStats:
     """Lifetime counters for one server (thread-safe increments)."""
 
     __slots__ = ("served", "errors", "rejected", "session_refreshes",
-                 "peak_queue", "_lock")
+                 "peak_queue", "timeouts", "cancelled", "drained", "_lock")
 
     def __init__(self):
         self.served = 0
@@ -55,6 +55,9 @@ class ServerStats:
         self.rejected = 0
         self.session_refreshes = 0
         self.peak_queue = 0
+        self.timeouts = 0      # synchronous query() waits that timed out
+        self.cancelled = 0     # requests cancelled before a worker ran them
+        self.drained = 0       # requests failed by stop() while still queued
         self._lock = threading.Lock()
 
     def _count(self, field, amount=1):
@@ -73,6 +76,9 @@ class ServerStats:
             "rejected": self.rejected,
             "session_refreshes": self.session_refreshes,
             "peak_queue": self.peak_queue,
+            "timeouts": self.timeouts,
+            "cancelled": self.cancelled,
+            "drained": self.drained,
         }
 
 
@@ -120,6 +126,12 @@ class Server:
         self._rejected_total = metrics.counter(
             "repro_server_rejected_total",
             "Requests shed by admission control or a full queue")
+        self._timeouts_total = metrics.counter(
+            "repro_server_timeouts",
+            "Synchronous query() waits that hit their timeout")
+        self._cancelled_total = metrics.counter(
+            "repro_server_cancelled_total",
+            "Requests cancelled while still queued (timeout or stop)")
         self._latency = metrics.histogram(
             "repro_server_latency_seconds",
             "End-to-end request latency (submit to result)")
@@ -144,7 +156,14 @@ class Server:
         return self
 
     def stop(self):
-        """Drain the queue, stop every worker, release their snapshots."""
+        """Stop every worker, then fail whatever is still queued.
+
+        Workers finish the requests ahead of their stop sentinel; anything
+        left behind (requests racing a concurrent stop, or cancelled
+        leftovers) is drained and its future failed with
+        :class:`ServerError` — no caller is ever left hanging on a future
+        the server will not serve.
+        """
         if not self._running:
             return
         self._running = False
@@ -154,6 +173,24 @@ class Server:
             thread.join()
         self._threads = []
         self._workers_gauge.set(0)
+        self._drain_queue()
+
+    def _drain_queue(self):
+        """Fail every request still in the queue (the server is stopped)."""
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if request is _STOP:
+                continue
+            if request.future.set_running_or_notify_cancel():
+                self.stats._count("drained")
+                self.stats._count("errors")
+                self._errors_total.inc()
+                request.future.set_exception(
+                    ServerError("server stopped"))
+        self._queue_gauge.set(0)
 
     def __enter__(self):
         if not self._threads:
@@ -189,9 +226,26 @@ class Server:
 
     def query(self, path, snapshot=True, runtime=None, profile=None,
               timeout=None):
-        """Submit and wait: the synchronous convenience wrapper."""
-        return self.submit(path, snapshot=snapshot, runtime=runtime,
-                           profile=profile).result(timeout)
+        """Submit and wait: the synchronous convenience wrapper.
+
+        A ``timeout`` that expires does not abandon the request: the
+        future is cancelled, so a still-queued request is skipped by the
+        workers instead of running for a caller that gave up.  (A request
+        already running completes and its result is dropped — cooperative
+        cancellation mid-query belongs to
+        :class:`~repro.query.runtime.QueryContext` deadlines.)
+        """
+        future = self.submit(path, snapshot=snapshot, runtime=runtime,
+                             profile=profile)
+        try:
+            return future.result(timeout)
+        except TimeoutError:
+            self.stats._count("timeouts")
+            self._timeouts_total.inc()
+            if future.cancel():
+                self.stats._count("cancelled")
+                self._cancelled_total.inc()
+            raise
 
     def _enqueue(self, request, block):
         if not self._running:
@@ -213,6 +267,10 @@ class Server:
         depth = self._queue.qsize()
         self.stats._saw_queue(depth)
         self._queue_gauge.set(depth)
+        if not self._running:
+            # Raced a concurrent stop(): the workers may already be gone,
+            # so fail anything that slipped in behind their sentinels.
+            self._drain_queue()
         return request.future
 
     # -- workers ---------------------------------------------------------------
@@ -232,6 +290,9 @@ class Server:
     def _serve(self, index, request, session):
         future = request.future
         if not future.set_running_or_notify_cancel():
+            # Cancelled while queued (a timed-out synchronous caller):
+            # skip the work entirely.
+            self._queue_gauge.set(self._queue.qsize())
             return session
         tracer = self._db.observability.tracer
         queued = time.monotonic() - request.submitted_at

@@ -34,9 +34,8 @@ directory).  The interface is deliberately socket-shaped —
 transport slots in without touching the replica.
 """
 
-import os
-import time
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 
 from repro.obs.trace import NULL_TRACER
 from repro.storage.disk import FileDisk
@@ -46,10 +45,19 @@ from repro.storage.errors import (
     TransientIOError,
 )
 from repro.storage.journal import Archive, decode_group
+from repro.storage.timemodel import SystemClock
 
 #: Retry policy defaults for transient ship/apply failures.
 DEFAULT_MAX_RETRIES = 4
 DEFAULT_BACKOFF_SECONDS = 0.01
+#: Ceiling on one backoff sleep — exponential growth stops here, so a
+#: deep retry loop never sleeps unboundedly long between attempts.
+DEFAULT_MAX_BACKOFF_SECONDS = 0.5
+
+
+class _TailInterrupted(Exception):
+    """Internal: an in-flight catch_up was asked to yield (promotion or
+    close).  Never escapes the replica."""
 
 
 class LogShipper:
@@ -113,6 +121,9 @@ class ReplicationStats:
     bytes_shipped: int = 0
     apply_retries: int = 0           # retry loops that eventually succeeded
     transient_errors: int = 0        # TransientIOErrors absorbed
+    #: TransientIOErrors absorbed, split by what was being retried —
+    #: ``"poll"`` (latest_sequence), ``"ship"`` (fetch), ``"apply"``.
+    retries_by_cause: dict = field(default_factory=dict)
     torn_segments_seen: int = 0      # torn head segments skipped (re-polled)
     divergence_refusals: int = 0     # promote() calls refused
     failovers: int = 0               # successful promotions
@@ -142,13 +153,21 @@ class StandbyReplica:
     def __init__(self, path, shipper, page_size=4096, buffer_pages=256,
                  max_retries=DEFAULT_MAX_RETRIES,
                  backoff_seconds=DEFAULT_BACKOFF_SECONDS,
-                 disk_factory=None, observability=None):
+                 max_backoff_seconds=DEFAULT_MAX_BACKOFF_SECONDS,
+                 disk_factory=None, observability=None, clock=None):
         self.path = path
         self.shipper = shipper.connect()
         self.page_size = page_size
         self.buffer_pages = buffer_pages
         self.max_retries = max_retries
         self.backoff_seconds = backoff_seconds
+        self.max_backoff_seconds = max_backoff_seconds
+        self.clock = clock if clock is not None else SystemClock()
+        # One lock serializes the tail path (catch_up / promote): segment
+        # apply is strictly single-threaded.  The event interrupts a
+        # backoff sleep so promote() and close() never wait one out.
+        self._tail_lock = threading.RLock()
+        self._stop_tailing = threading.Event()
         self.stats = ReplicationStats()
         self.promoted = False
         self.stall_reason = None   # divergence description, or None
@@ -182,10 +201,19 @@ class StandbyReplica:
     # -- lifecycle -----------------------------------------------------------
 
     def close(self):
-        self._close_query_db()
-        if not getattr(self._disk, "closed", True):
-            self._disk.close()
-        self.shipper.close()
+        self.interrupt()
+        with self._tail_lock:
+            self._close_query_db()
+            if not getattr(self._disk, "closed", True):
+                self._disk.close()
+            self.shipper.close()
+
+    def interrupt(self):
+        """Ask an in-flight :meth:`catch_up` to yield at its next
+        checkpoint (including mid-backoff).  The interrupted call returns
+        normally with the count applied so far; the flag clears when the
+        next tail call starts."""
+        self._stop_tailing.set()
 
     def __enter__(self):
         return self
@@ -211,15 +239,23 @@ class StandbyReplica:
         """
         self._require_standby()
         applied = 0
-        with self._tracer.span("replica.catch_up", path=self.path):
-            head = self._poll_head()
-            while (limit is None or applied < limit):
-                next_seq = self._disk.commit_sequence + 1
-                if head is None or next_seq > head:
-                    break
-                if not self._ship_and_apply_one(next_seq, head):
-                    break
-                applied += 1
+        with self._tail_lock:
+            self._require_standby()   # promotion may have won the lock
+            self._stop_tailing.clear()
+            try:
+                with self._tracer.span("replica.catch_up", path=self.path):
+                    head = self._poll_head()
+                    while (limit is None or applied < limit):
+                        if self._stop_tailing.is_set():
+                            break
+                        next_seq = self._disk.commit_sequence + 1
+                        if head is None or next_seq > head:
+                            break
+                        if not self._ship_and_apply_one(next_seq, head):
+                            break
+                        applied += 1
+            except _TailInterrupted:
+                pass
         return applied
 
     def _poll_head(self):
@@ -268,7 +304,13 @@ class StandbyReplica:
         self.stall_reason = reason
 
     def _with_retry(self, what, fn):
-        """Run ``fn`` retrying TransientIOError with exponential backoff."""
+        """Run ``fn`` retrying TransientIOError with exponential backoff.
+
+        The per-attempt sleep is ``backoff_seconds * 2**n`` capped at
+        ``max_backoff_seconds`` and runs on the replica's injectable
+        clock, interruptible through :meth:`interrupt` — a promotion or
+        close never waits out a backoff window.
+        """
         attempts = 0
         while True:
             try:
@@ -278,6 +320,8 @@ class StandbyReplica:
                 return result
             except TransientIOError as exc:
                 self.stats.transient_errors += 1
+                self.stats.retries_by_cause[what] = \
+                    self.stats.retries_by_cause.get(what, 0) + 1
                 attempts += 1
                 if attempts > self.max_retries:
                     raise ReplicationError(
@@ -285,9 +329,19 @@ class StandbyReplica:
                         % (what, self.max_retries, exc)
                     )
                 if self.backoff_seconds:
-                    time.sleep(self.backoff_seconds * (2 ** (attempts - 1)))
+                    delay = self.backoff_seconds * (2 ** (attempts - 1))
+                    if self.max_backoff_seconds is not None:
+                        delay = min(delay, self.max_backoff_seconds)
+                    self.clock.sleep(delay, interrupt=self._stop_tailing)
+                if self._stop_tailing.is_set():
+                    raise _TailInterrupted()
 
     # -- read-only serving ---------------------------------------------------
+
+    @property
+    def applied_sequence(self):
+        """Commit sequence of the last applied group (routing shorthand)."""
+        return self.stats.last_applied_sequence
 
     @property
     def database(self):
@@ -351,7 +405,14 @@ class StandbyReplica:
         once promotion succeeds.
         """
         self._require_standby()
-        with self._tracer.span("replica.promote", path=self.path):
+        # Wake any catch_up() sleeping out a retry backoff, then take the
+        # tail lock: promotion and tailing are strictly serialized, so an
+        # interrupted catch_up can never apply a segment after the
+        # promotion decision (it re-checks ``promoted`` under the lock).
+        self._stop_tailing.set()
+        with self._tail_lock, \
+                self._tracer.span("replica.promote", path=self.path):
+            self._require_standby()
             self.catch_up()
             if self.stall_reason is not None and not allow_divergence:
                 self.stats.divergence_refusals += 1

@@ -12,16 +12,23 @@ reproduce a CI failure locally.
 import os
 import random
 import shutil
+import threading
+import time
 
 import pytest
 
 from repro.core.database import XmlDatabase
 from repro.obs import Observability
 from repro.storage.disk import FileDisk
-from repro.storage.errors import DivergenceError, ReplicationError
+from repro.storage.errors import (
+    DivergenceError,
+    ReplicationError,
+    TransientIOError,
+)
 from repro.storage.faults import CrashPoint, FaultInjectingDisk
 from repro.storage.journal import Archive
 from repro.storage.replication import LocalDirShipper, StandbyReplica
+from repro.storage.timemodel import VirtualClock
 
 SEED = int(os.environ.get("CHAOS_SEED", "20030305"))
 
@@ -209,6 +216,158 @@ class TestTransientFaults:
         disk.fail_next(0, "physical-write")
         assert replica.catch_up() == 1
         replica.close()
+
+
+def _faulty_disk_factory(wrappers):
+    def factory(path, page_size):
+        disk = FaultInjectingDisk(
+            FileDisk(path, page_size, durability="none"))
+        wrappers.append(disk)
+        return disk
+    return factory
+
+
+class TestRetryPolicy:
+    def test_backoff_caps_and_counts_causes_in_virtual_time(self, tmp_path):
+        """The retry schedule — exponential, capped, per-cause counted —
+        verified end to end on a virtual clock: zero wall-clock sleeps."""
+        path, archive_dir, backup, db = make_primary(tmp_path)
+        db.add_document(XML_B, name="b")
+        db.flush()
+        db.close()
+        clock = VirtualClock()
+        wrappers = []
+        replica = StandbyReplica.from_backup(
+            backup, str(tmp_path / "vt-standby.db"),
+            LocalDirShipper(archive_dir, PAGE_SIZE), page_size=PAGE_SIZE,
+            buffer_pages=BUFFER_PAGES,
+            disk_factory=_faulty_disk_factory(wrappers),
+            backoff_seconds=0.1, max_backoff_seconds=0.25, max_retries=6,
+            clock=clock)
+        wrappers[0].fail_next(4, "physical-write")
+        started = time.monotonic()
+        assert replica.catch_up() == 1
+        assert time.monotonic() - started < 1.0  # slept only virtually
+        assert replica.stats.retries_by_cause == {"apply": 4}
+        # 0.1 → 0.2 → 0.4 capped to 0.25 → 0.8 capped to 0.25.
+        assert wrappers[0].op_counts  # faults actually fired
+        assert clock.sleeps == [0.1, 0.2, 0.25, 0.25]
+        assert clock.now() == pytest.approx(sum(clock.sleeps))
+        assert replica.documents() == [(1, "a"), (2, "b")]
+        replica.close()
+
+    def test_poll_and_ship_retries_counted_by_cause(self, tmp_path):
+        class FlakyShipper(LocalDirShipper):
+            poll_faults = 1
+            fetch_faults = 2
+
+            def latest_sequence(self):
+                if self.poll_faults:
+                    self.poll_faults -= 1
+                    raise TransientIOError("poll blip")
+                return super(FlakyShipper, self).latest_sequence()
+
+            def fetch(self, sequence):
+                if self.fetch_faults:
+                    self.fetch_faults -= 1
+                    raise TransientIOError("fetch blip")
+                return super(FlakyShipper, self).fetch(sequence)
+
+        path, archive_dir, backup, db = make_primary(tmp_path)
+        db.add_document(XML_B, name="b")
+        db.flush()
+        db.close()
+        replica = StandbyReplica.from_backup(
+            backup, str(tmp_path / "flaky-standby.db"),
+            FlakyShipper(archive_dir, PAGE_SIZE), page_size=PAGE_SIZE,
+            buffer_pages=BUFFER_PAGES, backoff_seconds=0.0)
+        assert replica.catch_up() == 1
+        assert replica.stats.retries_by_cause == {"poll": 1, "ship": 2}
+        assert replica.stats.transient_errors == 3
+        replica.close()
+
+
+class TestPromoteCatchUpRace:
+    def test_promote_interrupts_inflight_backoff_without_deadlock(
+            self, tmp_path):
+        """A catch_up stuck in a long retry backoff must yield to
+        promote() immediately: the interrupted tail applies nothing after
+        the promotion decision, the promoting thread never waits out the
+        backoff window, and nothing deadlocks."""
+        path, archive_dir, backup, db = make_primary(tmp_path)
+        db.add_document(XML_B, name="b")
+        db.flush()
+        db.close()
+        wrappers = []
+        replica = StandbyReplica.from_backup(
+            backup, str(tmp_path / "race-standby.db"),
+            LocalDirShipper(archive_dir, PAGE_SIZE), page_size=PAGE_SIZE,
+            buffer_pages=BUFFER_PAGES,
+            disk_factory=_faulty_disk_factory(wrappers),
+            backoff_seconds=30.0, max_backoff_seconds=30.0,
+            max_retries=100)
+        disk = wrappers[0]
+        disk.fail_next(1000, "physical-write")
+        outcome = {}
+
+        def tail():
+            outcome["applied"] = replica.catch_up()
+
+        tailer = threading.Thread(target=tail)
+        tailer.start()
+        # Wait until the tail thread is inside its retry loop (it holds
+        # the tail lock and is sleeping out a 30s backoff).
+        give_up = time.monotonic() + 5.0
+        while (replica.stats.transient_errors < 1
+                and time.monotonic() < give_up):
+            time.sleep(0.005)
+        assert replica.stats.transient_errors >= 1
+        disk.fail_next(0, "physical-write")  # promote's catch-up succeeds
+        started = time.monotonic()
+        promoted = replica.promote()
+        promote_seconds = time.monotonic() - started
+        tailer.join(5.0)
+        assert not tailer.is_alive()
+        assert outcome["applied"] == 0      # nothing applied post-decision
+        assert promote_seconds < 5.0        # never waited out the backoff
+        try:
+            assert [n for _i, n in promoted.documents()] == ["a", "b"]
+        finally:
+            promoted.close()
+        with pytest.raises(ReplicationError, match="promoted"):
+            replica.catch_up()
+
+    def test_close_interrupts_inflight_backoff(self, tmp_path):
+        """close() must not wait out a retry backoff either — the same
+        interrupt path promote() uses."""
+        path, archive_dir, backup, db = make_primary(tmp_path)
+        db.add_document(XML_B, name="b")
+        db.flush()
+        db.close()
+        wrappers = []
+        replica = StandbyReplica.from_backup(
+            backup, str(tmp_path / "close-standby.db"),
+            LocalDirShipper(archive_dir, PAGE_SIZE), page_size=PAGE_SIZE,
+            buffer_pages=BUFFER_PAGES,
+            disk_factory=_faulty_disk_factory(wrappers),
+            backoff_seconds=30.0, max_backoff_seconds=30.0,
+            max_retries=100)
+        wrappers[0].fail_next(1000, "physical-write")
+        tailer = threading.Thread(target=replica.catch_up)
+        tailer.start()
+        give_up = time.monotonic() + 5.0
+        while (replica.stats.transient_errors < 1
+                and time.monotonic() < give_up):
+            time.sleep(0.005)
+        assert replica.stats.transient_errors >= 1
+        started = time.monotonic()
+        replica.close()
+        tailer.join(5.0)
+        assert not tailer.is_alive()
+        assert time.monotonic() - started < 5.0
+        # An interrupted tail flag clears on the next entry; the replica
+        # is closed, so tailing now fails cleanly rather than hanging.
+        assert replica.stats.segments_applied == 0
 
 
 class TestReplicationMetrics:

@@ -1,6 +1,8 @@
 """The redesigned client API: sessions, DatabaseConfig, the shared
 ``(runtime, profile)`` trio, warm joins, and the serving front end."""
 
+import threading
+
 import pytest
 
 from repro import DatabaseConfig, Session, XmlDatabase
@@ -288,3 +290,54 @@ class TestServer:
             db.add_document(XML_TWO)  # staged only
             live = server.query("//employee/name", snapshot=False)
             assert len(live.matches) == 2
+
+    def test_timed_out_query_is_cancelled_not_abandoned(self, db):
+        """A synchronous query() whose wait expires cancels its request:
+        the worker skips it instead of running work nobody wants."""
+        db.add_document(XML_ONE)
+        db.flush()
+        gate = threading.Event()
+        real_query = db.query
+
+        def gated_query(path, runtime=None, profile=None):
+            gate.wait(10)
+            return real_query(path, runtime=runtime, profile=profile)
+
+        db.query = gated_query
+        server = Server(db, workers=1).start()
+        try:
+            # Wedge the only worker, then time out behind it.
+            blocker = server.submit("//employee/name", snapshot=False)
+            with pytest.raises(TimeoutError):
+                server.query("//employee/name", snapshot=False,
+                             timeout=0.05)
+            assert server.stats.timeouts == 1
+            assert server.stats.cancelled == 1
+            gate.set()
+            # The cancelled request is skipped: only the blocker and this
+            # follow-up are ever served.
+            server.query("//employee/name", snapshot=False, timeout=10)
+            blocker.result(10)
+            assert server.stats.served == 2
+        finally:
+            db.query = real_query
+            server.stop()
+        snap = db.metrics()
+        assert snap["repro_server_timeouts"] == 1
+        assert snap["repro_server_cancelled_total"] == 1
+
+    def test_stop_fails_queued_futures(self, db):
+        """stop() drains the queue: nobody is left waiting forever on a
+        future no worker will ever serve."""
+        db.add_document(XML_ONE)
+        db.flush()
+        server = Server(db, workers=2)
+        server._running = True  # accepted requests, workers not yet up
+        futures = [server.submit("//employee/name") for _ in range(3)]
+        server.stop()
+        for future in futures:
+            with pytest.raises(ServerError, match="server stopped"):
+                future.result(1)
+        assert server.stats.drained == 3
+        assert server.stats.as_dict()["drained"] == 3
+        assert db.metrics()["repro_server_queue_depth"] == 0
