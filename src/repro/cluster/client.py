@@ -178,6 +178,15 @@ class ClusterClient:
         self._m_hedge_wins = metrics.counter(
             "repro_cluster_hedge_wins_total",
             "Reads answered by the hedge instead of the first attempt")
+        self._m_hedge_launched = metrics.counter(
+            "repro_cluster_hedge_launched_total",
+            "Hedge requests launched after hedge_after of silence")
+        self._m_hedge_won = metrics.counter(
+            "repro_cluster_hedge_won_total",
+            "Hedges that answered before the first attempt")
+        self._m_hedge_lost = metrics.counter(
+            "repro_cluster_hedge_lost_total",
+            "Hedges beaten by the first attempt, failed, or timed out")
         self._m_stale_skips = metrics.counter(
             "repro_cluster_stale_skips_total",
             "Backends skipped at dispatch for exceeding the staleness "
@@ -336,6 +345,8 @@ class ClusterClient:
             return self._finish(outcome, node, started, attempts,
                                 hedged=False)
         self._m_hedges.inc()
+        self._m_hedge_launched.inc()
+        hedge_settled = False   # has the hedge been counted won or lost?
         tried_ids.add(hedge_node.id)
         second = pool.submit(self._attempt, hedge_node, path, budget,
                              runtime_options)
@@ -352,16 +363,29 @@ class ClusterClient:
                 try:
                     outcome = future.result()
                 except _StaleAtDispatch as exc:
+                    if winner is hedge_node and not hedge_settled:
+                        hedge_settled = True
+                        self._m_hedge_lost.inc()
                     attempts.append((winner.id, exc))
                     continue
                 except RETRYABLE_ERRORS as exc:
+                    if winner is hedge_node and not hedge_settled:
+                        hedge_settled = True
+                        self._m_hedge_lost.inc()
                     attempts.append((winner.id, exc))
                     self._set.report_backend_failure(winner.id, exc)
                     continue
-                if winner is hedge_node:
-                    self._m_hedge_wins.inc()
+                if not hedge_settled:
+                    hedge_settled = True
+                    if winner is hedge_node:
+                        self._m_hedge_wins.inc()
+                        self._m_hedge_won.inc()
+                    else:
+                        self._m_hedge_lost.inc()
                 return self._finish(outcome, winner, started, attempts,
                                     hedged=winner is hedge_node)
+        if not hedge_settled:
+            self._m_hedge_lost.inc()
         raise TimeoutError(
             "hedged read got no answer from %s or %s within %.3fs"
             % (node.id, hedge_node.id, budget))

@@ -18,6 +18,15 @@ A *fatal* failure (dead disk, crash point) skips the suspect ladder and
 opens the breaker immediately — there is no point probing a process that
 is gone every few milliseconds.
 
+A **network** failure (``kind="network"``: connect refused, read
+timeout, rejected frame — anything
+:func:`~repro.net.errors.is_network_error` recognizes) walks the ladder
+too, but against its own, typically *larger* threshold
+(``network_down_after``): a partition blip should make a backend
+suspect, not trigger failover, while a genuinely unreachable node still
+goes down once the blip outlives the threshold.  Network failures are
+never fatal — the node behind the partition may be perfectly healthy.
+
 The clock is injectable (:class:`~repro.storage.timemodel.SystemClock` /
 :class:`~repro.storage.timemodel.VirtualClock`), so breaker timing is
 testable in virtual time.  All methods are thread-safe: probes arrive
@@ -41,14 +50,22 @@ class BackendHealth:
     """The ``healthy → suspect → down`` state machine for one backend."""
 
     def __init__(self, backend_id, suspect_after=1, down_after=3,
-                 cooldown_seconds=0.25, clock=None):
+                 cooldown_seconds=0.25, network_down_after=None,
+                 clock=None):
         if suspect_after < 1:
             raise ValueError("suspect_after must be at least 1")
         if down_after < suspect_after:
             raise ValueError("down_after must be >= suspect_after")
+        if network_down_after is None:
+            # Default: tolerate twice as many network failures as plain
+            # ones before declaring death — partitions heal, disks don't.
+            network_down_after = down_after * 2
+        if network_down_after < suspect_after:
+            raise ValueError("network_down_after must be >= suspect_after")
         self.backend_id = backend_id
         self.suspect_after = suspect_after
         self.down_after = down_after
+        self.network_down_after = network_down_after
         self.cooldown_seconds = cooldown_seconds
         self.clock = clock if clock is not None else SystemClock()
         self.state = HEALTHY
@@ -56,9 +73,13 @@ class BackendHealth:
         self.lag_segments = 0
         self.probes = 0
         self.failures = 0
+        self.network_failures = 0
         self.last_failure_reason = None
+        self.last_failure_kind = None
         self.transitions = []
         self._breaker_open_until = None
+        #: True while the current consecutive-failure run is network-only.
+        self._run_all_network = True
         self._lock = threading.Lock()
 
     # -- probe outcomes ------------------------------------------------------
@@ -68,25 +89,40 @@ class BackendHealth:
         with self._lock:
             self.probes += 1
             self.consecutive_failures = 0
+            self._run_all_network = True
             self._breaker_open_until = None
             if lag_segments is not None:
                 self.lag_segments = max(0, lag_segments)
             if self.state != HEALTHY:
                 self._transition(HEALTHY, "probe succeeded")
 
-    def record_failure(self, reason, fatal=False):
+    def record_failure(self, reason, fatal=False, kind=None):
         """A probe or request against this backend failed.
 
         ``fatal=True`` (dead disk, crash) goes straight to ``down`` and
         opens the circuit breaker; otherwise failures walk the
-        ``suspect_after``/``down_after`` ladder.
+        ``suspect_after``/``down_after`` ladder.  ``kind="network"``
+        marks a transport-level failure: it counts toward the (larger)
+        ``network_down_after`` threshold for as long as the run of
+        consecutive failures is network-only, so a short partition makes
+        the backend *suspect* without tripping failover.  A single
+        non-network failure in the run snaps back to the plain
+        ``down_after`` threshold.
         """
         with self._lock:
             self.probes += 1
             self.failures += 1
             self.consecutive_failures += 1
             self.last_failure_reason = str(reason)
-            if fatal or self.consecutive_failures >= self.down_after:
+            self.last_failure_kind = kind
+            if kind == "network":
+                self.network_failures += 1
+                fatal = False   # a partitioned node may be fine
+            else:
+                self._run_all_network = False
+            threshold = (self.network_down_after if self._run_all_network
+                         else self.down_after)
+            if fatal or self.consecutive_failures >= threshold:
                 if self.state != DOWN:
                     self._transition(DOWN, reason)
                 self._breaker_open_until = (
@@ -134,7 +170,9 @@ class BackendHealth:
                 "consecutive_failures": self.consecutive_failures,
                 "probes": self.probes,
                 "failures": self.failures,
+                "network_failures": self.network_failures,
                 "last_failure": self.last_failure_reason,
+                "last_failure_kind": self.last_failure_kind,
             }
 
     def __repr__(self):

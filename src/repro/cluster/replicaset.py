@@ -40,9 +40,10 @@ import os
 import threading
 
 from repro.cluster.health import DOWN, HEALTHY, SUSPECT, BackendHealth
+from repro.net.errors import is_network_error
 from repro.obs import Observability
 from repro.server import Server
-from repro.storage.errors import StorageError
+from repro.storage.errors import StorageError, TransientIOError
 from repro.storage.faults import CrashPoint
 from repro.storage.replication import LocalDirShipper, StandbyReplica
 from repro.storage.timemodel import SystemClock
@@ -70,11 +71,23 @@ class NoBackendAvailable(ClusterError):
 def is_fatal_backend_error(exc, disk=None):
     """Does ``exc`` mean the backend process/disk is *gone* (vs. merely
     failing this request)?  Fatal errors skip the suspect ladder."""
+    if is_network_error(exc):
+        # A partitioned backend may be perfectly healthy — a network
+        # fault must walk the (network) ladder, never skip it.
+        return False
     if isinstance(exc, CrashPoint):
         return True
     if disk is not None and getattr(disk, "dead", False):
         return True
     return isinstance(exc, StorageError) and "dead" in str(exc)
+
+
+def failure_kind(exc):
+    """Classify a backend failure for the health machine: ``"network"``
+    for transport-level faults (directly, or as the cause of a
+    :class:`~repro.storage.errors.ReplicationError` whose retries were
+    exhausted), else None."""
+    return "network" if is_network_error(exc) else None
 
 
 class PrimaryNode:
@@ -109,6 +122,12 @@ class StandbyNode:
 
     role = "standby"
 
+    #: How long a read waits for the node lock before degrading.  The
+    #: monitor holds the lock across catch_up, which over a slow or
+    #: partitioned link can take its full retry budget — a client read
+    #: must fail over to another backend instead of queueing behind it.
+    lock_timeout = 1.0
+
     def __init__(self, node_id, replica):
         self.id = node_id
         self.replica = replica
@@ -122,8 +141,15 @@ class StandbyNode:
         # Standby reads are serialized per node: the replica's lazily
         # reopened query database is not a concurrent engine, and the
         # monitor closes it when new segments apply.
-        with self.lock:
+        wait = self.lock_timeout if timeout is None else min(
+            timeout, self.lock_timeout)
+        if not self.lock.acquire(timeout=wait):
+            raise TransientIOError(
+                "standby %s busy (replication holds its lock)" % self.id)
+        try:
             return self.replica.query(path, runtime=runtime)
+        finally:
+            self.lock.release()
 
 
 class _View:
@@ -161,15 +187,25 @@ class ReplicaSet:
     def __init__(self, primary, standbys=(), workers=2, queue_depth=128,
                  staleness_bound=DEFAULT_STALENESS_BOUND,
                  suspect_after=1, down_after=3, cooldown_seconds=0.25,
-                 tail_limit=16, scratch_dir=None,
+                 network_down_after=None, tail_limit=16, scratch_dir=None,
                  allow_divergent_failover=False, probe_path=None,
-                 observability=None, clock=None):
+                 shipper_factory=None, observability=None, clock=None):
         self.staleness_bound = staleness_bound
         self.suspect_after = suspect_after
         self.down_after = down_after
         self.cooldown_seconds = cooldown_seconds
+        #: Consecutive *network* failures before a backend goes down —
+        #: larger than ``down_after`` so a partition blip stays a blip.
+        #: None picks the BackendHealth default (2 × down_after).
+        self.network_down_after = network_down_after
         self.tail_limit = tail_limit
         self.scratch_dir = scratch_dir
+        #: (primary_database, page_size) -> LogShipper, used when
+        #: re-bootstrapping survivors after failover.  None keeps the
+        #: local-directory transport; pass one to rebuild standbys over
+        #: a :class:`~repro.net.shipper.SocketShipper` (or any other
+        #: transport) instead.
+        self.shipper_factory = shipper_factory
         self.allow_divergent_failover = allow_divergent_failover
         self.probe_path = probe_path
         self.workers = workers
@@ -201,7 +237,8 @@ class ReplicaSet:
         return BackendHealth(
             node_id, suspect_after=self.suspect_after,
             down_after=self.down_after,
-            cooldown_seconds=self.cooldown_seconds, clock=self.clock)
+            cooldown_seconds=self.cooldown_seconds,
+            network_down_after=self.network_down_after, clock=self.clock)
 
     def _init_metrics(self):
         m = self.observability.metrics
@@ -218,6 +255,10 @@ class ReplicaSet:
             "Failover attempts that could not complete")
         self._m_fencings = m.counter(
             "repro_cluster_fencings_total", "Primaries fenced")
+        self._m_network_flaps = m.counter(
+            "repro_cluster_network_flaps_total",
+            "Backend failures classified as network faults (transport "
+            "errors that walk the network ladder, not straight to down)")
         self._m_rebuilds = m.counter(
             "repro_cluster_rebuilds_total",
             "Standbys rebuilt onto the new timeline after failover")
@@ -323,10 +364,13 @@ class ReplicaSet:
             return
         if fatal is None:
             fatal = is_fatal_backend_error(exc)
-        health.record_failure(exc, fatal=fatal)
+        kind = failure_kind(exc)
+        if kind == "network":
+            self._m_network_flaps.inc()
+        health.record_failure(exc, fatal=fatal, kind=kind)
         self.observability.tracer.event(
             "cluster.backend-failure", backend=node_id, error=str(exc),
-            fatal=bool(fatal))
+            fatal=bool(fatal), failure_kind=kind)
         self._wake.set()
 
     # -- heartbeat -----------------------------------------------------------
@@ -374,10 +418,13 @@ class ReplicaSet:
             self._m_probe_failures.inc()
             fatal = is_fatal_backend_error(
                 exc, disk=node.database._context.disk)
-            health.record_failure(exc, fatal=fatal)
+            kind = failure_kind(exc)
+            if kind == "network":
+                self._m_network_flaps.inc()
+            health.record_failure(exc, fatal=fatal, kind=kind)
             self.observability.tracer.event(
                 "cluster.probe-failure", backend=node.id, error=str(exc),
-                fatal=bool(fatal))
+                fatal=bool(fatal), failure_kind=kind)
 
     def _tail_and_probe(self, node):
         health = self._health[node.id]
@@ -391,9 +438,14 @@ class ReplicaSet:
             health.record_success(lag_segments=lag)
         except BaseException as exc:
             self._m_probe_failures.inc()
-            health.record_failure(exc, fatal=isinstance(exc, CrashPoint))
+            kind = failure_kind(exc)
+            if kind == "network":
+                self._m_network_flaps.inc()
+            health.record_failure(
+                exc, fatal=isinstance(exc, CrashPoint), kind=kind)
             self.observability.tracer.event(
-                "cluster.probe-failure", backend=node.id, error=str(exc))
+                "cluster.probe-failure", backend=node.id, error=str(exc),
+                failure_kind=kind)
 
     def _refresh_gauges(self):
         states = {HEALTHY: 0, SUSPECT: 0, DOWN: 0}
@@ -538,14 +590,19 @@ class ReplicaSet:
                             "%s-e%d.db" % (node.id, epoch))
         if os.path.exists(path):
             os.remove(path)
-        shipper = LocalDirShipper(new_primary.database.archive.directory,
-                                  old.page_size)
         try:
+            if self.shipper_factory is not None:
+                shipper = self.shipper_factory(new_primary.database,
+                                               old.page_size)
+            else:
+                shipper = LocalDirShipper(
+                    new_primary.database.archive.directory, old.page_size)
             replica = StandbyReplica.from_backup(
                 backup_dir, path, shipper, page_size=old.page_size,
                 buffer_pages=old.buffer_pages, max_retries=old.max_retries,
                 backoff_seconds=old.backoff_seconds,
                 max_backoff_seconds=old.max_backoff_seconds,
+                backoff_jitter=old.backoff_jitter, rng=old.rng,
                 clock=old.clock)
         except BaseException as exc:
             self.observability.tracer.event(

@@ -1,0 +1,316 @@
+"""SocketShipper: a :class:`~repro.storage.replication.LogShipper` over
+TCP, hardened against the network.
+
+The client side of the segment-shipping protocol.  It is a drop-in
+transport for :class:`~repro.storage.replication.StandbyReplica` — the
+replica neither knows nor cares that ``latest_sequence()``/``fetch()``
+now cross a wire — but every network failure mode is handled *here*, so
+what the replica sees is either a correct answer or a
+:class:`~repro.net.errors.NetworkError` (a
+:class:`~repro.storage.errors.TransientIOError`) it already knows how to
+retry:
+
+* **connect/read timeouts** — a refused, hung or half-open peer trips
+  ``connect_timeout``/``read_timeout`` instead of blocking a monitor
+  thread forever;
+* **bounded retry with jittered exponential backoff** — each request is
+  retried up to ``max_retries`` times inside the shipper; the backoff
+  doubles, is capped at ``max_backoff_seconds``, and is jittered by a
+  seeded RNG so a fleet of standbys reconnecting after a heal does not
+  retry in lockstep;
+* **idempotent re-fetch after reconnect** — any fault tears down the
+  connection; the next attempt reconnects and re-issues the *same*
+  request.  Segments are immutable, so re-fetching is always safe;
+* **frame validation** — a response whose CRC fails, whose sequence is
+  not the one requested (duplicated/reordered delivery), or whose type
+  is wrong is **rejected and counted** (``stats.rejections_by_cause``),
+  the connection reset, and the request retried — corruption and
+  misdelivery are survived, never applied.
+
+``stats`` mirrors into ``repro_net_*`` gauges via :meth:`bind_metrics`
+(done automatically when an observability hub is passed), and retries,
+timeouts and reconnects emit ``net.*`` trace events.
+"""
+
+import random
+import socket
+from dataclasses import dataclass, field
+
+from repro.net.errors import FrameRejected, NetworkError
+from repro.net.frames import (
+    DEFAULT_MAX_FRAME_BYTES,
+    REQ_FETCH,
+    REQ_LATEST,
+    RESP_ERROR,
+    RESP_LATEST,
+    RESP_MISSING,
+    RESP_SEGMENT,
+    read_frame,
+    send_frame,
+)
+from repro.obs.trace import NULL_TRACER
+from repro.storage.replication import LogShipper
+from repro.storage.timemodel import SystemClock
+
+#: Retry policy defaults for one request (connect + send + receive).
+DEFAULT_MAX_RETRIES = 3
+DEFAULT_CONNECT_TIMEOUT = 1.0
+DEFAULT_READ_TIMEOUT = 1.0
+DEFAULT_BACKOFF_SECONDS = 0.02
+DEFAULT_MAX_BACKOFF_SECONDS = 0.25
+#: Fraction of each backoff randomly shaved off (full-jitter-ish).
+DEFAULT_BACKOFF_JITTER = 0.5
+
+
+@dataclass
+class ShipperStats:
+    """Lifetime counters for one :class:`SocketShipper`."""
+
+    connects: int = 0              # successful connection establishments
+    reconnects: int = 0            # connects after the first
+    requests: int = 0              # protocol requests attempted
+    responses: int = 0             # validated responses accepted
+    retries: int = 0               # request attempts after the first
+    timeouts: int = 0              # connect/read deadlines tripped
+    server_busy: int = 0           # RESP_ERROR frames (capacity, etc.)
+    frames_rejected: int = 0       # responses discarded as untrustworthy
+    #: Rejections split by why: ``"crc"`` (corrupt in flight),
+    #: ``"sequence"`` (duplicate/reordered delivery), ``"type"``,
+    #: ``"protocol"``, ``"oversize"``.
+    rejections_by_cause: dict = field(default_factory=dict)
+    bytes_received: int = 0        # segment payload bytes accepted
+    give_ups: int = 0              # requests that exhausted max_retries
+
+    def snapshot(self):
+        out = dict(self.__dict__)
+        out["rejections_by_cause"] = dict(self.rejections_by_cause)
+        return out
+
+
+class SocketShipper(LogShipper):
+    """Fetch segments from a :class:`~repro.net.server.SegmentServer`.
+
+    ``address`` is the server's ``(host, port)``.  The connection is
+    established lazily and re-established transparently after any fault,
+    so :meth:`close` followed by another call simply reconnects — the
+    shipper is always safe to retry.  ``rng`` seeds the backoff jitter
+    (pass ``random.Random(seed)`` for reproducible schedules); ``clock``
+    makes backoff sleeps virtual-time-testable.
+    """
+
+    def __init__(self, address, page_size=4096,
+                 connect_timeout=DEFAULT_CONNECT_TIMEOUT,
+                 read_timeout=DEFAULT_READ_TIMEOUT,
+                 max_retries=DEFAULT_MAX_RETRIES,
+                 backoff_seconds=DEFAULT_BACKOFF_SECONDS,
+                 max_backoff_seconds=DEFAULT_MAX_BACKOFF_SECONDS,
+                 backoff_jitter=DEFAULT_BACKOFF_JITTER,
+                 max_frame_bytes=DEFAULT_MAX_FRAME_BYTES,
+                 rng=None, clock=None, observability=None):
+        self.address = tuple(address)
+        self.page_size = page_size
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self.max_backoff_seconds = max_backoff_seconds
+        self.backoff_jitter = backoff_jitter
+        self.max_frame_bytes = max_frame_bytes
+        self.rng = rng if rng is not None else random.Random()
+        self.clock = clock if clock is not None else SystemClock()
+        self.stats = ShipperStats()
+        self._sock = None
+        self._tracer = (observability.tracer if observability is not None
+                        else NULL_TRACER)
+        if observability is not None:
+            self.bind_metrics(observability.metrics)
+
+    # -- LogShipper interface ------------------------------------------------
+
+    def connect(self):
+        return self
+
+    def close(self):
+        self._disconnect()
+
+    def latest_sequence(self):
+        """Poll the server's head sequence (None for an empty stream)."""
+        frame = self._request(REQ_LATEST, 0, expect=RESP_LATEST)
+        return frame.sequence or None
+
+    def fetch(self, sequence):
+        """Raw bytes of segment ``sequence``, or None if the server's
+        archive has no such segment.  Validated: the response must echo
+        the requested sequence, so a duplicated or reordered frame from
+        the network can never be returned as this segment."""
+        frame = self._request(REQ_FETCH, sequence,
+                              expect=(RESP_SEGMENT, RESP_MISSING))
+        if frame.type == RESP_MISSING:
+            return None
+        self.stats.bytes_received += len(frame.payload)
+        return frame.payload
+
+    # -- connection management -----------------------------------------------
+
+    @property
+    def connected(self):
+        return self._sock is not None
+
+    def _connect(self):
+        if self._sock is not None:
+            return self._sock
+        try:
+            sock = socket.create_connection(
+                self.address, timeout=self.connect_timeout)
+        except OSError as exc:
+            raise NetworkError(
+                "connect to %s:%d failed: %s"
+                % (self.address[0], self.address[1], exc)) from exc
+        sock.settimeout(self.read_timeout)
+        if self.stats.connects:
+            self.stats.reconnects += 1
+        self.stats.connects += 1
+        self._sock = sock
+        self._tracer.event("net.connect", host=self.address[0],
+                           port=self.address[1],
+                           reconnect=self.stats.connects > 1)
+        return sock
+
+    def _disconnect(self):
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # -- request/response ----------------------------------------------------
+
+    def _request(self, frame_type, sequence, expect):
+        """One validated request/response exchange, with bounded retry.
+
+        Any fault — connect failure, timeout, torn read, rejected frame,
+        server-busy — tears the connection down and retries the same
+        request after a jittered exponential backoff.  Exhausting
+        ``max_retries`` raises the last failure (always a
+        :class:`NetworkError`, hence transient to callers).
+        """
+        if not isinstance(expect, tuple):
+            expect = (expect,)
+        attempts = 0
+        while True:
+            self.stats.requests += 1
+            try:
+                return self._exchange(frame_type, sequence, expect)
+            except NetworkError as exc:
+                self._disconnect()
+                self._note_failure(exc)
+                attempts += 1
+                if attempts > self.max_retries:
+                    self.stats.give_ups += 1
+                    raise
+                self.stats.retries += 1
+                self._tracer.event("net.retry", type=frame_type,
+                                   sequence=sequence, attempt=attempts,
+                                   error=str(exc))
+                self._backoff(attempts)
+
+    def _exchange(self, frame_type, sequence, expect):
+        sock = self._connect()
+        send_frame(sock, frame_type, sequence)
+        frame = read_frame(sock, max_frame_bytes=self.max_frame_bytes)
+        if frame.type == RESP_ERROR:
+            self.stats.server_busy += 1
+            raise NetworkError(
+                "server refused request: %s"
+                % frame.payload.decode("utf-8", "replace"))
+        if frame.type not in expect:
+            raise FrameRejected(
+                "expected frame type %s, got %d"
+                % ("/".join(map(str, expect)), frame.type), cause="type")
+        if frame.type != RESP_LATEST and frame.sequence != sequence:
+            # Duplicated or reordered delivery: this frame answers some
+            # other request.  Reject, resync (reconnect), re-fetch.
+            raise FrameRejected(
+                "requested sequence %d but frame answers %d "
+                "(duplicate or reordered delivery)"
+                % (sequence, frame.sequence), cause="sequence")
+        self.stats.responses += 1
+        return frame
+
+    def _note_failure(self, exc):
+        if isinstance(exc, FrameRejected):
+            self.stats.frames_rejected += 1
+            self.stats.rejections_by_cause[exc.cause] = \
+                self.stats.rejections_by_cause.get(exc.cause, 0) + 1
+            self._tracer.event("net.reject", cause=exc.cause,
+                               error=str(exc))
+        elif "timed out" in str(exc):
+            self.stats.timeouts += 1
+
+    def _backoff(self, attempts):
+        if not self.backoff_seconds:
+            return
+        delay = self.backoff_seconds * (2 ** (attempts - 1))
+        if self.max_backoff_seconds is not None:
+            delay = min(delay, self.max_backoff_seconds)
+        if self.backoff_jitter:
+            # Jitter shaves up to ``jitter`` of the delay off, so the
+            # ceiling holds and synchronized retry herds spread out.
+            delay *= 1.0 - self.backoff_jitter * self.rng.random()
+        self.clock.sleep(delay)
+
+    # -- metrics -------------------------------------------------------------
+
+    def bind_metrics(self, registry):
+        """Mirror :attr:`stats` into pull-refreshed ``repro_net_*``
+        gauges on ``registry``.  Idempotent per registry."""
+        if registry in getattr(self, "_bound_registries", ()):
+            return registry
+        self._bound_registries = getattr(self, "_bound_registries", [])
+        self._bound_registries.append(registry)
+        gauges = {}
+        for name, attr, help_text in (
+            ("repro_net_connects", "connects",
+             "Connections established to the segment server"),
+            ("repro_net_reconnects", "reconnects",
+             "Reconnections after a fault or close"),
+            ("repro_net_requests", "requests",
+             "Protocol requests attempted (including retries)"),
+            ("repro_net_responses", "responses",
+             "Validated responses accepted"),
+            ("repro_net_retries", "retries",
+             "Request attempts after the first"),
+            ("repro_net_timeouts", "timeouts",
+             "Connect/read deadlines tripped"),
+            ("repro_net_server_busy", "server_busy",
+             "Requests refused by a server at capacity"),
+            ("repro_net_frames_rejected", "frames_rejected",
+             "Response frames rejected (CRC/sequence/type mismatch)"),
+            ("repro_net_bytes_received", "bytes_received",
+             "Segment payload bytes accepted"),
+            ("repro_net_give_ups", "give_ups",
+             "Requests that exhausted their retry budget"),
+        ):
+            gauges[attr] = registry.gauge(name, help_text)
+        reject_causes = {}
+
+        def refresh(_registry):
+            for attr, gauge in gauges.items():
+                gauge.set(getattr(self.stats, attr))
+            for cause, count in self.stats.rejections_by_cause.items():
+                if cause not in reject_causes:
+                    reject_causes[cause] = registry.gauge(
+                        "repro_net_rejected_%s" % cause,
+                        "Frames rejected with cause %r" % cause)
+                reject_causes[cause].set(count)
+
+        registry.register_collector(refresh)
+        return registry
+
+    def __repr__(self):
+        return ("SocketShipper(%s:%d, %sconnected, %d responses, "
+                "%d rejected)"
+                % (self.address[0], self.address[1],
+                   "" if self.connected else "not ",
+                   self.stats.responses, self.stats.frames_rejected))

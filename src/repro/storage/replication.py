@@ -34,6 +34,7 @@ directory).  The interface is deliberately socket-shaped —
 transport slots in without touching the replica.
 """
 
+import random
 import threading
 from dataclasses import dataclass, field
 
@@ -53,6 +54,11 @@ DEFAULT_BACKOFF_SECONDS = 0.01
 #: Ceiling on one backoff sleep — exponential growth stops here, so a
 #: deep retry loop never sleeps unboundedly long between attempts.
 DEFAULT_MAX_BACKOFF_SECONDS = 0.5
+#: Fraction of each backoff randomly shaved off.  Jitter de-synchronizes
+#: a fleet of standbys retrying after one shared fault (a healed
+#: partition, a restarted server) so they do not hammer the transport in
+#: lockstep; shaving *down* keeps ``max_backoff_seconds`` a true ceiling.
+DEFAULT_BACKOFF_JITTER = 0.5
 
 
 class _TailInterrupted(Exception):
@@ -154,6 +160,7 @@ class StandbyReplica:
                  max_retries=DEFAULT_MAX_RETRIES,
                  backoff_seconds=DEFAULT_BACKOFF_SECONDS,
                  max_backoff_seconds=DEFAULT_MAX_BACKOFF_SECONDS,
+                 backoff_jitter=DEFAULT_BACKOFF_JITTER, rng=None,
                  disk_factory=None, observability=None, clock=None):
         self.path = path
         self.shipper = shipper.connect()
@@ -162,6 +169,8 @@ class StandbyReplica:
         self.max_retries = max_retries
         self.backoff_seconds = backoff_seconds
         self.max_backoff_seconds = max_backoff_seconds
+        self.backoff_jitter = backoff_jitter
+        self.rng = rng if rng is not None else random.Random()
         self.clock = clock if clock is not None else SystemClock()
         # One lock serializes the tail path (catch_up / promote): segment
         # apply is strictly single-threaded.  The event interrupts a
@@ -304,12 +313,18 @@ class StandbyReplica:
         self.stall_reason = reason
 
     def _with_retry(self, what, fn):
-        """Run ``fn`` retrying TransientIOError with exponential backoff.
+        """Run ``fn`` retrying TransientIOError with jittered backoff.
 
         The per-attempt sleep is ``backoff_seconds * 2**n`` capped at
-        ``max_backoff_seconds`` and runs on the replica's injectable
-        clock, interruptible through :meth:`interrupt` — a promotion or
-        close never waits out a backoff window.
+        ``max_backoff_seconds``, then jittered *downward* by up to
+        ``backoff_jitter`` of itself (the cap stays a hard ceiling; a
+        fleet of standbys hit by one shared fault spreads its retries
+        out).  Sleeps run on the replica's injectable clock,
+        interruptible through :meth:`interrupt` — a promotion or close
+        never waits out a backoff window.  Exhaustion raises
+        :class:`~repro.storage.errors.ReplicationError` *from* the last
+        transient failure, so callers (the cluster health machinery) can
+        still see whether the cause was a network fault.
         """
         attempts = 0
         while True:
@@ -327,11 +342,13 @@ class StandbyReplica:
                     raise ReplicationError(
                         "%s failed after %d retries: %s"
                         % (what, self.max_retries, exc)
-                    )
+                    ) from exc
                 if self.backoff_seconds:
                     delay = self.backoff_seconds * (2 ** (attempts - 1))
                     if self.max_backoff_seconds is not None:
                         delay = min(delay, self.max_backoff_seconds)
+                    if self.backoff_jitter:
+                        delay *= 1.0 - self.backoff_jitter * self.rng.random()
                     self.clock.sleep(delay, interrupt=self._stop_tailing)
                 if self._stop_tailing.is_set():
                     raise _TailInterrupted()

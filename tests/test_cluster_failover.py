@@ -50,12 +50,17 @@ XML = ("<dept><team><name>db</name>"
 
 
 def make_cluster(tmp_path, standbys=2, kill_after=None, torn_bytes=None,
-                 standby_faults=(), **set_options):
+                 standby_faults=(), transport="local", proxy_config=None,
+                 **set_options):
     """A ReplicaSet + ClusterClient over real files under ``tmp_path``.
 
     Returns ``(replica_set, client, primary_fault_disk, standby_disks)``.
     ``standby_faults`` maps standby ordinals to ``fail_next`` counts for
-    transient apply faults.
+    transient apply faults.  ``transport="socket"`` swaps every
+    LocalDirShipper for a SocketShipper behind a ChaosProxy (healthy
+    unless ``proxy_config`` says otherwise); the proxy is exposed as
+    ``replica_set.test_proxy`` for partition control, and all network
+    resources are stopped by ``replica_set.close()``.
     """
     path = str(tmp_path / "primary.db")
     archive_dir = str(tmp_path / "primary.archive")
@@ -72,6 +77,38 @@ def make_cluster(tmp_path, standbys=2, kill_after=None, torn_bytes=None,
         # Arm the kill relative to the workload, not cluster setup.
         disk.kill_after = disk.op_counts["physical-write"] + kill_after
         disk.torn_bytes = torn_bytes
+    net_resources = []
+    proxy = None
+    if transport == "socket":
+        from repro.net import ChaosProxy, SegmentServer, SocketShipper
+
+        server = SegmentServer(archive_dir, PAGE_SIZE).start()
+        proxy = ChaosProxy(server.address, config=proxy_config,
+                           seed=SEED).start()
+        net_resources += [proxy, server]
+
+        def new_shipper(address):
+            return SocketShipper(
+                address, page_size=PAGE_SIZE, connect_timeout=0.25,
+                read_timeout=0.5, max_retries=1, backoff_seconds=0.001,
+                max_backoff_seconds=0.005, rng=random.Random(SEED))
+
+        def make_shipper():
+            return new_shipper(proxy.address)
+
+        def rebuild_factory(new_db, page_size):
+            # Post-failover rebuilds serve the *new* primary's archive
+            # over a fresh (healthy, direct) socket.
+            srv = SegmentServer(new_db.archive.directory,
+                                page_size).start()
+            net_resources.append(srv)
+            return new_shipper(srv.address)
+
+        set_options.setdefault("shipper_factory", rebuild_factory)
+    else:
+        def make_shipper():
+            return LocalDirShipper(archive_dir, PAGE_SIZE)
+
     replicas, standby_disks = [], []
     faults = dict(standby_faults)
     for index in range(standbys):
@@ -84,7 +121,7 @@ def make_cluster(tmp_path, standbys=2, kill_after=None, torn_bytes=None,
 
         replica = StandbyReplica.from_backup(
             backup, str(tmp_path / ("standby-%d.db" % index)),
-            LocalDirShipper(archive_dir, PAGE_SIZE), page_size=PAGE_SIZE,
+            make_shipper(), page_size=PAGE_SIZE,
             buffer_pages=BUFFER_PAGES, backoff_seconds=0.001,
             max_backoff_seconds=0.01, disk_factory=factory)
         if index in faults:
@@ -97,6 +134,16 @@ def make_cluster(tmp_path, standbys=2, kill_after=None, torn_bytes=None,
     set_options.setdefault("cooldown_seconds", 0.02)
     replica_set = ReplicaSet(db, replicas, scratch_dir=scratch,
                              **set_options)
+    replica_set.test_proxy = proxy
+    if net_resources:
+        original_close = replica_set.close
+
+        def close_with_net():
+            original_close()
+            for resource in net_resources:
+                resource.stop()
+
+        replica_set.close = close_with_net
     return replica_set, ClusterClient(replica_set), disk, standby_disks
 
 
@@ -139,6 +186,37 @@ class TestBackendHealth:
         health.record_failure("x")
         assert health.state == HEALTHY          # never reached suspect_after
         assert health.consecutive_failures == 1
+
+    def test_network_failures_walk_a_longer_ladder(self):
+        """A run of network-kind failures needs ``network_down_after``
+        (not ``down_after``) to take the backend down: flap != death."""
+        health = BackendHealth("b", suspect_after=1, down_after=2,
+                               network_down_after=5,
+                               clock=VirtualClock())
+        for _ in range(4):
+            health.record_failure("connect refused", kind="network")
+        assert health.state == SUSPECT          # would be DOWN if plain
+        assert health.network_failures == 4
+        health.record_failure("connect refused", kind="network")
+        assert health.state == DOWN             # a real outage still lands
+        health.record_success()
+        assert health.state == HEALTHY
+
+    def test_non_network_failure_snaps_back_to_the_plain_threshold(self):
+        health = BackendHealth("b", suspect_after=1, down_after=2,
+                               network_down_after=6,
+                               clock=VirtualClock())
+        health.record_failure("read timed out", kind="network")
+        assert health.state == SUSPECT
+        health.record_failure("disk error")     # not the network's fault
+        assert health.state == DOWN             # plain down_after=2 applies
+
+    def test_network_failures_are_never_fatal(self):
+        health = BackendHealth("b", suspect_after=1, down_after=2,
+                               network_down_after=6,
+                               clock=VirtualClock())
+        health.record_failure("partition", fatal=True, kind="network")
+        assert health.state == SUSPECT          # fatal was overridden
 
 
 class TestReadRouting:
@@ -306,6 +384,124 @@ class TestFailover:
                 node.replica.stats.retries_by_cause.get("apply", 0)
                 for node in rs.view.standbys)
             assert retries >= 3
+        finally:
+            client.close()
+            rs.close()
+
+
+class TestSocketTransportDropIn:
+    """The PR 7 failover guarantees, re-run with LocalDirShipper swapped
+    for SocketShipper behind a healthy ChaosProxy: the transport is a
+    true drop-in and the guarantees are transport-independent."""
+
+    def test_reads_route_over_sockets(self, tmp_path):
+        rs, client, _disk, _sd = make_cluster(tmp_path, standbys=1,
+                                              transport="socket")
+        try:
+            client.add_document(XML, name="b")
+            rs.tick()
+            result = client.query("//member/name")
+            assert result.staleness <= rs.staleness_bound
+            assert len(result.rows.matches) == 2
+            # Segments really crossed the wire.
+            standby = rs.view.standbys[0]
+            assert standby.replica.shipper.stats.responses > 0
+        finally:
+            client.close()
+            rs.close()
+
+    def test_monitor_detects_death_and_promotes_over_sockets(self,
+                                                             tmp_path):
+        """Byte-for-byte the PR 7 guarantee — zero acked loss through a
+        primary kill — with every segment shipped over TCP.  The segment
+        server outlives the primary process (immutable files), which is
+        what lets the standby finish catching up after the crash."""
+        rs, client, disk, _sd = make_cluster(tmp_path, standbys=2,
+                                             transport="socket")
+        try:
+            client.add_document(XML, name="b")
+            rs.tick()
+            acked = rs.acked_sequence
+            disk.crash_now()
+            for _ in range(6):
+                rs.tick()
+            assert rs.epoch == 2
+            assert rs.last_failover["rebuilt"] == 1
+            epoch, node = rs.primary_for_write()
+            names = [n for _i, n in node.database.documents()]
+            assert names == ["seed", "b"]          # zero acked loss
+            ack = client.add_document(XML, name="c")
+            assert ack.epoch == 2 and ack.sequence == acked + 1
+            # The rebuilt survivor tails the new primary over its own
+            # socket and converges.
+            for _ in range(4):
+                rs.tick()
+            for standby in rs.view.standbys:
+                assert standby.applied_sequence == rs.acked_sequence
+        finally:
+            client.close()
+            rs.close()
+
+
+class TestNetworkFlap:
+    """Partition blips are absorbed; only a sustained outage fails over."""
+
+    def test_short_partition_blip_causes_no_spurious_failover(self,
+                                                              tmp_path):
+        """Regression: a partition shorter than ``network_down_after``
+        ticks leaves the epoch unchanged, keeps the primary primary, and
+        routes reads to the surviving (reachable) backends throughout."""
+        rs, client, _disk, _sd = make_cluster(
+            tmp_path, standbys=1, transport="socket",
+            down_after=2, network_down_after=6)
+        proxy = rs.test_proxy
+        try:
+            client.add_document(XML, name="b")
+            rs.tick()
+            standby_id = rs.view.standbys[0].id
+            proxy.partition(mode="refuse")
+            for _ in range(3):      # < network_down_after ticks
+                rs.tick()
+            health = rs.health_of(standby_id)
+            assert health.state == SUSPECT      # noticed, not condemned
+            assert health.network_failures >= 1
+            assert rs.epoch == 1                # no spurious failover
+            # Reads keep flowing within their staleness bound: the blip
+            # cut the replication link, not the serving path — a suspect
+            # standby may still serve (it is behind healthy peers in the
+            # ranking) and the primary always can.
+            result = client.query("//member/name", deadline=2.0)
+            assert result.backend_id in ("node-0", "node-1")
+            assert result.staleness <= rs.staleness_bound
+            proxy.heal()
+            for _ in range(3):
+                rs.tick()
+            assert rs.health_of(standby_id).state == HEALTHY
+            assert rs.epoch == 1
+            snap = rs.observability.metrics.snapshot()
+            assert snap["repro_cluster_network_flaps_total"] >= 1
+            assert snap["repro_cluster_failovers_total"] == 0
+        finally:
+            client.close()
+            rs.close()
+
+    def test_sustained_partition_takes_the_standby_down(self, tmp_path):
+        rs, client, _disk, _sd = make_cluster(
+            tmp_path, standbys=1, transport="socket",
+            down_after=2, network_down_after=4,
+            cooldown_seconds=30.0)   # keep the breaker shut once down
+        proxy = rs.test_proxy
+        try:
+            client.add_document(XML, name="b")
+            rs.tick()
+            standby_id = rs.view.standbys[0].id
+            proxy.partition(mode="refuse")
+            for _ in range(5):      # > network_down_after
+                rs.tick()
+            assert rs.health_of(standby_id).state == DOWN
+            assert rs.epoch == 1    # a dead *standby* never fails over
+            result = client.query("//member/name", deadline=2.0)
+            assert result.backend_id == "node-0"
         finally:
             client.close()
             rs.close()

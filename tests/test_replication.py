@@ -243,7 +243,7 @@ class TestRetryPolicy:
             buffer_pages=BUFFER_PAGES,
             disk_factory=_faulty_disk_factory(wrappers),
             backoff_seconds=0.1, max_backoff_seconds=0.25, max_retries=6,
-            clock=clock)
+            backoff_jitter=0.0, clock=clock)
         wrappers[0].fail_next(4, "physical-write")
         started = time.monotonic()
         assert replica.catch_up() == 1
@@ -255,6 +255,38 @@ class TestRetryPolicy:
         assert clock.now() == pytest.approx(sum(clock.sleeps))
         assert replica.documents() == [(1, "a"), (2, "b")]
         replica.close()
+
+    def test_backoff_jitter_spreads_sleeps_under_the_ceiling(self,
+                                                             tmp_path):
+        """Jittered backoff shaves each sleep by up to ``backoff_jitter``
+        of itself — the cap stays a hard ceiling — and two replicas
+        seeded differently do not retry in lockstep."""
+        path, archive_dir, backup, db = make_primary(tmp_path)
+        db.add_document(XML_B, name="b")
+        db.flush()
+        db.close()
+        schedules = []
+        for seed in (1, 2):
+            clock = VirtualClock()
+            wrappers = []
+            replica = StandbyReplica.from_backup(
+                backup, str(tmp_path / ("jit-%d.db" % seed)),
+                LocalDirShipper(archive_dir, PAGE_SIZE),
+                page_size=PAGE_SIZE, buffer_pages=BUFFER_PAGES,
+                disk_factory=_faulty_disk_factory(wrappers),
+                backoff_seconds=0.1, max_backoff_seconds=0.25,
+                max_retries=6, backoff_jitter=0.5,
+                rng=random.Random(seed), clock=clock)
+            wrappers[0].fail_next(4, "physical-write")
+            assert replica.catch_up() == 1
+            full = [0.1, 0.2, 0.25, 0.25]  # the un-jittered schedule
+            assert len(clock.sleeps) == len(full)
+            for slept, ceiling in zip(clock.sleeps, full):
+                assert 0.5 * ceiling <= slept <= ceiling
+            schedules.append(list(clock.sleeps))
+            assert replica.documents() == [(1, "a"), (2, "b")]
+            replica.close()
+        assert schedules[0] != schedules[1]  # seeds de-synchronize
 
     def test_poll_and_ship_retries_counted_by_cause(self, tmp_path):
         class FlakyShipper(LocalDirShipper):
