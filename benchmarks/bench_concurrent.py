@@ -24,6 +24,7 @@ import threading
 import time
 
 from repro.core.database import XmlDatabase
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, Histogram
 from repro.query.admission import AdmissionController, QueryRejected
 from repro.server import Server
 
@@ -40,12 +41,9 @@ def _doc(employees):
     return "<department>%s</department>" % body
 
 
-def _percentile(samples, fraction):
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    index = min(len(ordered) - 1, int(fraction * len(ordered)))
-    return ordered[index]
+def _quantile_ms(histogram, q):
+    seconds = histogram.quantile(q)
+    return 0.0 if seconds is None else seconds * 1e3
 
 
 def run_storm(tmp_dir, clients=CLIENTS, ops_per_client=OPS_PER_CLIENT):
@@ -68,7 +66,11 @@ def run_storm(tmp_dir, clients=CLIENTS, ops_per_client=OPS_PER_CLIENT):
     counts_lock = threading.Lock()
     violations = []
     rejected = [0]
-    latencies = []
+    # Bucketed like the server's own latency histogram: the reported
+    # percentiles are the interpolated estimates an operator would get
+    # from /metrics, not exact order statistics over raw samples.
+    read_hist = Histogram("bench_read_seconds", "Read latencies",
+                          buckets=DEFAULT_LATENCY_BUCKETS)
     lat_lock = threading.Lock()
     barrier = threading.Barrier(clients + 1)
     state = {"total": total}
@@ -103,8 +105,7 @@ def run_storm(tmp_dir, clients=CLIENTS, ops_per_client=OPS_PER_CLIENT):
                     consistent = seen in valid_counts
                 if not consistent:
                     violations.append((index, op, seen))
-                with lat_lock:
-                    latencies.append(elapsed)
+                read_hist.observe(elapsed)
 
     server = Server(db, workers=WORKERS, queue_depth=4 * clients)
     threads = [threading.Thread(target=client, args=(i,))
@@ -126,15 +127,16 @@ def run_storm(tmp_dir, clients=CLIENTS, ops_per_client=OPS_PER_CLIENT):
         "clients": clients,
         "server_workers": WORKERS,
         "ops_per_client": ops_per_client,
-        "reads_completed": len(latencies),
+        "reads_completed": read_hist.count,
         "reads_rejected": rejected[0],
         "commits": db.commit_sequence,
         "violations": 0,
-        "read_p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
-        "read_p95_ms": round(_percentile(latencies, 0.95) * 1e3, 3),
-        "read_p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+        "read_p50_ms": round(_quantile_ms(read_hist, 0.50), 3),
+        "read_p95_ms": round(_quantile_ms(read_hist, 0.95), 3),
+        "read_p99_ms": round(_quantile_ms(read_hist, 0.99), 3),
         "wall_seconds": round(wall, 3),
-        "reads_per_second": round(len(latencies) / wall, 1) if wall else 0.0,
+        "reads_per_second":
+            round(read_hist.count / wall, 1) if wall else 0.0,
         "session_refreshes": server.stats.session_refreshes,
         "peak_queue": server.stats.peak_queue,
         "pool_latch_waits": db._context.pool.latch_waits,

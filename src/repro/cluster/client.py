@@ -26,11 +26,18 @@ after ``flush()`` returns and the standbys can replay everything acked.
 Errors that are the *caller's* fault — bad path syntax, a row cap they
 set, their own cancellation token — propagate immediately; failing over
 to another backend would just fail the same way.
+
+Every operation runs under a fresh **trace id** with a per-attempt
+number: retries, hedges and the failover they trigger all stamp the same
+id onto their spans (on whichever node's hub emits them), so one slow
+read can be followed across backends in the exported trace.
 """
 
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+
+from repro.obs.trace import new_trace_id, trace_context
 
 from repro.cluster.replicaset import (
     ClusterError,
@@ -222,7 +229,9 @@ class ClusterClient:
         attempts = []
         tried_ids = set()
         backoff = self.retry_backoff
-        with tracer.span("cluster.read", path=str(path)):
+        trace_id = new_trace_id()
+        with trace_context(trace_id), \
+                tracer.span("cluster.read", path=str(path)):
             while True:
                 remaining = give_up_at - self.clock.now()
                 if remaining <= 0:
@@ -249,14 +258,17 @@ class ClusterClient:
                 if hedge is not None and len(candidates) > 1:
                     hedge_node = candidates[1]
                 tried_ids.add(node.id)
+                attempt_no = len(attempts) + 1
                 try:
                     if hedge_node is not None:
                         result = self._attempt_hedged(
                             node, hedge_node, path, remaining, hedge,
-                            runtime_options, started, attempts, tried_ids)
+                            runtime_options, started, attempts, tried_ids,
+                            trace_id, attempt_no)
                     else:
                         result = self._attempt(node, path, remaining,
-                                               runtime_options)
+                                               runtime_options, trace_id,
+                                               attempt_no)
                         result = self._finish(result, node, started,
                                               attempts, hedged=False)
                     if attempts:
@@ -271,14 +283,15 @@ class ClusterClient:
                     self._set.report_backend_failure(node.id, exc)
                     tracer.event("cluster.read-failover", backend=node.id,
                                  error=str(exc))
-        self._m_read_errors.inc()
-        self._m_read_latency.observe(self.clock.now() - started)
-        detail = "; ".join("%s: %s" % (bid, err)
-                           for bid, err in attempts) or "no attempt ran"
-        raise ClusterReadError(
-            "read failed after %d attempt(s) in %.3fs (%s)"
-            % (len(attempts), self.clock.now() - started, detail),
-            attempts=attempts)
+            self._m_read_errors.inc()
+            self._m_read_latency.observe(self.clock.now() - started)
+            detail = "; ".join(
+                "%s: %s" % (bid, err)
+                for bid, err in attempts) or "no attempt ran"
+            raise ClusterReadError(
+                "read failed after %d attempt(s) in %.3fs (%s)"
+                % (len(attempts), self.clock.now() - started, detail),
+                attempts=attempts)
 
     def _bound(self):
         return (self._set.staleness_bound if self.staleness_bound is None
@@ -290,26 +303,33 @@ class ClusterClient:
         nodes = self._set.read_candidates(staleness_bound=bound)
         return [node for node in nodes if node.id not in tried_ids]
 
-    def _attempt(self, node, path, budget, runtime_options):
+    def _attempt(self, node, path, budget, runtime_options,
+                 trace_id=None, attempt=None):
         """One read against one backend, deadline-bounded both ways: the
         engine checks the deadline cooperatively mid-query, and the
-        future wait stops us blocking on a wedged backend."""
-        options = dict(runtime_options or {})
-        options.setdefault("deadline", budget)
-        runtime = QueryContext(**options)
-        acked = self._set.acked_sequence
-        sequence = node.applied_sequence
-        staleness = max(0, acked - sequence)
-        if staleness > self._bound():
-            self._m_stale_skips.inc()
-            raise _StaleAtDispatch(
-                "%s is %d group(s) behind the acked head at dispatch"
-                % (node.id, staleness))
-        if node.role == "primary":
-            rows = node.query(path, timeout=budget, runtime=runtime)
-        else:
-            rows = node.query(path, runtime=runtime)
-        return rows, sequence, staleness
+        future wait stops us blocking on a wedged backend.
+
+        The trace context is (re-)entered here explicitly because hedged
+        attempts run on pool threads, which do not inherit the caller's
+        thread-local context.
+        """
+        with trace_context(trace_id, attempt=attempt):
+            options = dict(runtime_options or {})
+            options.setdefault("deadline", budget)
+            runtime = QueryContext(**options)
+            acked = self._set.acked_sequence
+            sequence = node.applied_sequence
+            staleness = max(0, acked - sequence)
+            if staleness > self._bound():
+                self._m_stale_skips.inc()
+                raise _StaleAtDispatch(
+                    "%s is %d group(s) behind the acked head at dispatch"
+                    % (node.id, staleness))
+            if node.role == "primary":
+                rows = node.query(path, timeout=budget, runtime=runtime)
+            else:
+                rows = node.query(path, runtime=runtime)
+            return rows, sequence, staleness
 
     def _finish(self, outcome, node, started, attempts, hedged):
         rows, sequence, staleness = outcome
@@ -331,14 +351,15 @@ class ClusterClient:
             return self._hedge_pool
 
     def _attempt_hedged(self, node, hedge_node, path, budget, hedge_after,
-                        runtime_options, started, attempts, tried_ids):
+                        runtime_options, started, attempts, tried_ids,
+                        trace_id=None, attempt_no=1):
         """Race ``node`` against ``hedge_node`` after ``hedge_after``
         seconds of silence; first success wins, the loser is discarded.
         A hedge that fails does not fail the read — only the primary
         attempt's error is re-raised if both fail."""
         pool = self._pool()
         first = pool.submit(self._attempt, node, path, budget,
-                            runtime_options)
+                            runtime_options, trace_id, attempt_no)
         done, _pending = wait([first], timeout=min(hedge_after, budget))
         if first in done:
             outcome = first.result()  # raises to the retry loop on error
@@ -349,7 +370,7 @@ class ClusterClient:
         hedge_settled = False   # has the hedge been counted won or lost?
         tried_ids.add(hedge_node.id)
         second = pool.submit(self._attempt, hedge_node, path, budget,
-                             runtime_options)
+                             runtime_options, trace_id, attempt_no + 1)
         futures = {first: node, second: hedge_node}
         deadline = time.monotonic() + budget
         while futures:
@@ -405,7 +426,8 @@ class ClusterClient:
         self._m_writes.inc()
         epoch, node = self._set.primary_for_write()
         tracer = self._set.observability.tracer
-        with tracer.span("cluster.write", epoch=epoch):
+        with trace_context(new_trace_id()), \
+                tracer.span("cluster.write", epoch=epoch):
             try:
                 with node.lock:
                     if node.fenced:

@@ -33,7 +33,14 @@ tailing the primary's segment archive.  The replica set owns
   staleness bound of the acked head.
 
 Everything is surfaced as ``repro_cluster_*`` metrics and ``cluster.*``
-trace spans/events on the set's observability hub.
+trace spans/events on the set's observability hub.  The hub is named
+``cluster`` and every backend gets its own per-node hub (``node-0``,
+``node-1``, ...), so a failover — which runs under one fresh trace id —
+produces fence/elect/promote/rebuild spans stamped with the node that
+did the work, joinable across hubs by that id.  Pass ``flight_dir`` to
+run a :class:`~repro.obs.flight.FlightRecorder` per hub: every failover
+(and every fatal backend error) then dumps a post-mortem bundle under
+it automatically (see ``docs/OBSERVABILITY.md``).
 """
 
 import os
@@ -42,6 +49,8 @@ import threading
 from repro.cluster.health import DOWN, HEALTHY, SUSPECT, BackendHealth
 from repro.net.errors import is_network_error
 from repro.obs import Observability
+from repro.obs.flight import FlightRecorder, write_bundle
+from repro.obs.trace import new_trace_id, trace_context
 from repro.server import Server
 from repro.storage.errors import StorageError, TransientIOError
 from repro.storage.faults import CrashPoint
@@ -189,7 +198,8 @@ class ReplicaSet:
                  suspect_after=1, down_after=3, cooldown_seconds=0.25,
                  network_down_after=None, tail_limit=16, scratch_dir=None,
                  allow_divergent_failover=False, probe_path=None,
-                 shipper_factory=None, observability=None, clock=None):
+                 shipper_factory=None, observability=None, clock=None,
+                 flight_dir=None):
         self.staleness_bound = staleness_bound
         self.suspect_after = suspect_after
         self.down_after = down_after
@@ -213,11 +223,24 @@ class ReplicaSet:
         self.clock = clock if clock is not None else SystemClock()
         self.observability = (observability if observability is not None
                               else Observability())
+        if self.observability.node_id is None:
+            self.observability.tracer.node_id = "cluster"
+        self.flight_dir = flight_dir
+        self._hubs = {"cluster": self.observability}
+        self._recorders = {}
+        self._bundle_counter = 0
         server = Server(primary, workers=workers,
                         queue_depth=queue_depth).start()
         nodes = [PrimaryNode("node-0", primary, server)]
+        self._adopt_hub("node-0", primary.observability)
         for index, replica in enumerate(standbys):
-            nodes.append(StandbyNode("node-%d" % (index + 1), replica))
+            node = StandbyNode("node-%d" % (index + 1), replica)
+            nodes.append(node)
+            hub = getattr(replica, "observability", None)
+            if hub is None:
+                hub = replica.attach_observability(
+                    Observability(node_id=node.id))
+            self._adopt_hub(node.id, hub)
         self._view = _View(1, nodes[0], nodes[1:])
         self._acked = primary.commit_sequence
         self._ack_lock = threading.Lock()
@@ -232,6 +255,28 @@ class ReplicaSet:
         self.last_failover = None
         self.closed = False
         self._init_metrics()
+        if flight_dir is not None:
+            for recorder_id, hub in list(self._hubs.items()):
+                self._start_recorder(recorder_id, hub)
+
+    def _adopt_hub(self, node_id, hub):
+        """Track a backend's hub under ``node_id``: name it, and start a
+        flight recorder for it when flight recording is on."""
+        if hub.node_id is None:
+            hub.tracer.node_id = node_id
+        self._hubs[node_id] = hub
+        if self.flight_dir is not None:
+            self._start_recorder(node_id, hub)
+        return hub
+
+    def _start_recorder(self, recorder_id, hub):
+        if recorder_id in self._recorders:
+            return
+        # Flight recording is opt-in and needs records to record: the
+        # tracer cost was accepted by passing flight_dir.
+        hub.tracer.enable()
+        self._recorders[recorder_id] = FlightRecorder(
+            self.flight_dir, recorder_id, hub)
 
     def _new_health(self, node_id):
         return BackendHealth(
@@ -371,6 +416,14 @@ class ReplicaSet:
         self.observability.tracer.event(
             "cluster.backend-failure", backend=node_id, error=str(exc),
             fatal=bool(fatal), failure_kind=kind)
+        if fatal and self._recorders:
+            # A dead disk/process is exactly the moment the on-disk ring
+            # exists for: freeze the evidence before healing overwrites it.
+            try:
+                self.dump_flight("fatal backend error on %s: %s"
+                                 % (node_id, exc))
+            except OSError:
+                pass
         self._wake.set()
 
     # -- heartbeat -----------------------------------------------------------
@@ -482,57 +535,84 @@ class ReplicaSet:
                                               False):
                 return view.epoch
             detected_at = self.clock.now()
-            tracer = self.observability.tracer
-            with tracer.span("cluster.failover", epoch=view.epoch,
-                             reason=str(reason)):
+            # One fresh trace id covers the whole transition: every span
+            # below — including replica.promote on the elected node's own
+            # hub — carries it, so the post-mortem can stitch the
+            # fence → elect → promote → rebuild chain across nodes.
+            trace_id = new_trace_id()
+            with trace_context(trace_id):
+                try:
+                    new_epoch = self._failover_traced(
+                        view, old_primary, detected_at, reason, trace_id)
+                finally:
+                    if self._recorders:
+                        self.dump_flight("failover: %s" % reason,
+                                         trace_id=trace_id)
+            return new_epoch
+
+    def _failover_traced(self, view, old_primary, detected_at, reason,
+                         trace_id):
+        tracer = self.observability.tracer
+        with tracer.span("cluster.failover", epoch=view.epoch,
+                         reason=str(reason)):
+            with tracer.span("cluster.fence", backend=old_primary.id):
                 self._fence(old_primary)
+            with tracer.span("cluster.elect"):
                 elected = self._elect(view)
-                if elected is None:
-                    self._m_failover_failures.inc()
-                    # Leave a headless view: reads may continue from
-                    # standbys within their staleness bound.
-                    self._view = _View(view.epoch, None,
-                                       view.standbys)
-                    old_primary._failed_over = True
-                    raise ClusterError(
-                        "failover: no promotable standby "
-                        "(all down or none attached)")
+            if elected is None:
+                self._m_failover_failures.inc()
+                # Leave a headless view: reads may continue from
+                # standbys within their staleness bound.
+                self._view = _View(view.epoch, None,
+                                   view.standbys)
+                old_primary._failed_over = True
+                raise ClusterError(
+                    "failover: no promotable standby "
+                    "(all down or none attached)")
+            with tracer.span("cluster.promote", backend=elected.id):
                 with elected.lock:
                     promoted_db = elected.replica.promote(
                         allow_divergence=self.allow_divergent_failover)
                 server = Server(promoted_db, workers=self.workers,
                                 queue_depth=self.queue_depth).start()
-                new_primary = PrimaryNode(elected.id, promoted_db, server)
-                survivors = [node for node in view.standbys
-                             if node is not elected]
-                new_epoch = view.epoch + 1
-                self._health[elected.id] = self._new_health(elected.id)
-                self.ack(max(self._acked, promoted_db.commit_sequence))
-                # Writes re-point here: the old epoch's view is gone.
-                self._view = _View(new_epoch, new_primary, survivors)
-                old_primary._failed_over = True
-                elapsed = self.clock.now() - detected_at
-                self._m_failovers.inc()
-                self._m_failover_seconds.observe(elapsed)
-                self._m_epoch.set(new_epoch)
-                self.last_failover = {
-                    "epoch": new_epoch,
-                    "reason": str(reason),
-                    "detected_at": detected_at,
-                    "elected": elected.id,
-                    "promoted_sequence": promoted_db.commit_sequence,
-                    "duration_seconds": elapsed,
-                    "rebuilt": 0,
-                    "dropped": 0,
-                }
-                tracer.event("cluster.promoted", backend=elected.id,
-                             epoch=new_epoch,
-                             sequence=promoted_db.commit_sequence,
-                             seconds=elapsed)
-                # Heal the set: survivors tail the dead timeline and can
-                # only fall behind — rebuild them from the new primary.
+            new_primary = PrimaryNode(elected.id, promoted_db, server)
+            survivors = [node for node in view.standbys
+                         if node is not elected]
+            new_epoch = view.epoch + 1
+            self._health[elected.id] = self._new_health(elected.id)
+            self.ack(max(self._acked, promoted_db.commit_sequence))
+            # Writes re-point here: the old epoch's view is gone.
+            self._view = _View(new_epoch, new_primary, survivors)
+            old_primary._failed_over = True
+            # The promoted database is a new process-local hub; adopt it
+            # under an epoch-qualified name (its standby incarnation
+            # keeps the plain node id and its recorded history).
+            self._adopt_hub("%s-e%d" % (elected.id, new_epoch),
+                            promoted_db.observability)
+            elapsed = self.clock.now() - detected_at
+            self._m_failovers.inc()
+            self._m_failover_seconds.observe(elapsed)
+            self._m_epoch.set(new_epoch)
+            self.last_failover = {
+                "epoch": new_epoch,
+                "reason": str(reason),
+                "detected_at": detected_at,
+                "elected": elected.id,
+                "promoted_sequence": promoted_db.commit_sequence,
+                "duration_seconds": elapsed,
+                "trace_id": trace_id,
+                "rebuilt": 0,
+                "dropped": 0,
+            }
+            tracer.event("cluster.promoted", backend=elected.id,
+                         epoch=new_epoch,
+                         sequence=promoted_db.commit_sequence,
+                         seconds=elapsed)
+            # Heal the set: survivors tail the dead timeline and can
+            # only fall behind — rebuild them from the new primary.
+            with tracer.span("cluster.rebuild", epoch=new_epoch):
                 self._rebuild_survivors(new_primary, survivors, new_epoch)
-            return new_epoch
+        return new_epoch
 
     def _fence(self, node):
         """Stop the old primary serving and release its descriptors
@@ -610,6 +690,8 @@ class ReplicaSet:
             self._drop_standby(node, epoch)
             return
         rebuilt = StandbyNode(node.id, replica)
+        self._adopt_hub("%s-e%d" % (node.id, epoch),
+                        replica.attach_observability(Observability()))
         self._health[node.id] = self._new_health(node.id)
         view = self._view
         standbys = [rebuilt if n.id == node.id else n
@@ -674,6 +756,39 @@ class ReplicaSet:
 
     # -- introspection ---------------------------------------------------------
 
+    def dump_flight(self, reason, trace_id=None):
+        """Freeze every flight recorder into one post-mortem bundle.
+
+        Returns the bundle directory (``<flight_dir>/bundle-NNN``), or
+        None when flight recording is off.  Includes every backend's
+        :class:`~repro.cluster.health.BackendHealth` state *and*
+        transition log — the piece a trace alone cannot show.
+        """
+        if not self._recorders:
+            return None
+        self._bundle_counter += 1
+        bundle_dir = os.path.join(
+            self.flight_dir, "bundle-%03d" % self._bundle_counter)
+        health = {}
+        for node_id, backend_health in self._health.items():
+            entry = backend_health.snapshot()
+            entry["transitions"] = list(backend_health.transitions)
+            health[node_id] = entry
+        extra = {"epoch": self._view.epoch}
+        if trace_id is not None:
+            extra["trace_id"] = trace_id
+        write_bundle(bundle_dir, list(self._recorders.values()), reason,
+                     health=health, manifest_extra=extra)
+        self.observability.tracer.event(
+            "cluster.flight-dumped", bundle=bundle_dir, reason=str(reason))
+        return bundle_dir
+
+    def serve_ops(self, host="127.0.0.1", port=0):
+        """A started :class:`~repro.obs.ops.OpsServer` over this set."""
+        from repro.obs.ops import OpsServer
+
+        return OpsServer(self, host=host, port=port).start()
+
     def status(self):
         """One nested dict describing the whole set (for operators/tests)."""
         view = self._view
@@ -708,6 +823,12 @@ class ReplicaSet:
             return
         self.closed = True
         self.stop_monitor()
+        for recorder in self._recorders.values():
+            try:
+                recorder.close()
+            except OSError:
+                pass
+        self._recorders = {}
         view = self._view
         self._view = _View(view.epoch, None, ())
         if view.primary is not None and not view.primary.fenced:

@@ -492,6 +492,12 @@ class XmlDatabase:
         """Retained slow-query log entries, oldest first."""
         return self.observability.slow_queries()
 
+    def serve_ops(self, host="127.0.0.1", port=0):
+        """Start an HTTP ops endpoint over this database; returns the
+        running :class:`~repro.obs.ops.OpsServer` (caller stops it)."""
+        from repro.obs.ops import OpsServer
+        return OpsServer(self, host=host, port=port).start()
+
     def stats(self):
         """Every subsystem's counters in one nested dict.
 
@@ -571,6 +577,7 @@ class XmlDatabase:
             "rows": snap["repro_query_rows_total"],
             "slow": snap["repro_slow_queries_total"],
         }
+        queries.update(self.observability.query_quantiles())
         return {
             "buffer": buffer_stats,
             "indexes": index_stats,
@@ -663,7 +670,8 @@ class XmlDatabase:
                     lag = disk.commit_sequence - oldest
             gauges["repro_snapshot_lag"].set(lag)
 
-        m.register_collector(refresh)
+        m.register_collector(refresh, owns=tuple(sorted(gauges)),
+                             name="database")
 
     def verify(self):
         """Check every stored index's structural invariants.

@@ -5,11 +5,21 @@ One frame on the wire is::
 
     u32   length      bytes that follow (header + payload + crc)
     4s    magic        b"XRN1"
-    u8    version      protocol version (1)
+    u8    version      protocol version (1 or 2)
     u8    type         request/response kind (REQ_*/RESP_*)
     u64   sequence     the commit sequence this frame is about
+    [v2]  u16 ctx_len  length of the trace-context blob (0 = none)
+    [v2]  ...  context  UTF-8 JSON trace context (trace/span/node)
     ...   payload      type-specific bytes (segment body, error text)
-    u32   crc          CRC-32 over header + payload
+    u32   crc          CRC-32 over everything between length and crc
+
+Version 2 differs from version 1 only by the **trace-context blob**
+between header and payload: a small JSON object carrying the sender's
+trace id, open span id and node name, so spans on the receiving node
+can join the sender's trace (schema v2 ``link`` records — see
+``docs/OBSERVABILITY.md``).  Both versions stay accepted on the read
+side; a v1 peer that drops the connection on a v2 frame is handled by
+the shipper's downgrade negotiation (``repro.net.shipper``).
 
 Design points, each load-bearing for the chaos harness:
 
@@ -35,6 +45,7 @@ The codec is pure bytes-in/bytes-out (unit-testable without sockets);
 client, server and proxy share.
 """
 
+import json
 import socket
 import struct
 import zlib
@@ -43,7 +54,10 @@ from collections import namedtuple
 from repro.net.errors import FrameRejected, NetworkError
 
 MAGIC = b"XRN1"
-VERSION = 1
+#: The version this build speaks by default when sending.
+VERSION = 2
+#: Versions the read side accepts.  v1 frames simply have no context.
+ACCEPTED_VERSIONS = (1, 2)
 
 #: Frame types.  Requests carry the sequence they ask about; responses
 #: echo the sequence they answer.
@@ -59,6 +73,7 @@ _FRAME_TYPES = frozenset((REQ_LATEST, REQ_FETCH, RESP_LATEST,
 
 _PREFIX = struct.Struct("<I")
 _HEADER = struct.Struct("<4sBBQ")   # magic, version, type, sequence
+_CTX_LEN = struct.Struct("<H")      # v2 only: trace-context byte count
 _CRC = struct.Struct("<I")
 
 #: Smallest possible frame body: header + empty payload + crc.
@@ -66,20 +81,53 @@ MIN_FRAME_BYTES = _HEADER.size + _CRC.size
 #: Default ceiling on one frame (a segment of ~4k pages fits easily).
 DEFAULT_MAX_FRAME_BYTES = 16 * 1024 * 1024
 
-Frame = namedtuple("Frame", ("type", "sequence", "payload"))
+Frame = namedtuple("Frame", ("type", "sequence", "payload", "context",
+                             "version"))
+# Keep the historical 3-positional construction working: context and
+# version default for every pre-v2 call site.
+Frame.__new__.__defaults__ = (None, 1)
 
 
-def encode_frame(frame_type, sequence, payload=b""):
-    """Serialize one frame, length prefix included."""
-    body = _HEADER.pack(MAGIC, VERSION, frame_type, sequence) + payload
+def _encode_context(context):
+    if context is None:
+        return b""
+    blob = json.dumps(context, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    if len(blob) > 0xFFFF:
+        raise FrameRejected(
+            "trace context of %d bytes exceeds the u16 length field"
+            % len(blob), cause="protocol")
+    return blob
+
+
+def encode_frame(frame_type, sequence, payload=b"", context=None,
+                 version=VERSION):
+    """Serialize one frame, length prefix included.
+
+    ``context`` (v2 only) is a small JSON-serializable dict carried
+    between header and payload; passing one with ``version=1`` raises,
+    since v1 has nowhere to put it.
+    """
+    header = _HEADER.pack(MAGIC, version, frame_type, sequence)
+    if version >= 2:
+        blob = _encode_context(context)
+        body = header + _CTX_LEN.pack(len(blob)) + blob + payload
+    else:
+        if context is not None:
+            raise FrameRejected(
+                "protocol version 1 cannot carry a trace context",
+                cause="protocol")
+        body = header + payload
     crc = zlib.crc32(body) & 0xFFFFFFFF
     return _PREFIX.pack(len(body) + _CRC.size) + body + _CRC.pack(crc)
 
 
-def decode_frame(body):
+def decode_frame(body, accept_versions=ACCEPTED_VERSIONS):
     """Decode one frame body (the bytes *after* the length prefix).
 
-    Returns a :class:`Frame`; raises :class:`FrameRejected` with
+    Returns a :class:`Frame` (``frame.context`` is the decoded trace
+    context for a v2 frame that carried one, else None; ``frame.version``
+    is the version the peer spoke); raises :class:`FrameRejected` with
     ``cause="protocol"`` for a malformed or wrong-version frame and
     ``cause="crc"`` when the checksum does not match the content.
     """
@@ -88,7 +136,6 @@ def decode_frame(body):
             "frame body of %d bytes is shorter than the %d-byte minimum"
             % (len(body), MIN_FRAME_BYTES), cause="protocol")
     magic, version, frame_type, sequence = _HEADER.unpack_from(body, 0)
-    payload = body[_HEADER.size:-_CRC.size]
     (stored_crc,) = _CRC.unpack_from(body, len(body) - _CRC.size)
     computed = zlib.crc32(body[:-_CRC.size]) & 0xFFFFFFFF
     if computed != stored_crc:
@@ -100,14 +147,42 @@ def decode_frame(body):
     if magic != MAGIC:
         raise FrameRejected("bad frame magic %r" % (magic,),
                             cause="protocol")
-    if version != VERSION:
+    if version not in accept_versions:
         raise FrameRejected(
-            "unsupported protocol version %d (speaking %d)"
-            % (version, VERSION), cause="protocol")
+            "unsupported protocol version %d (accepting %s)"
+            % (version, "/".join(map(str, accept_versions))),
+            cause="protocol")
+    context = None
+    offset = _HEADER.size
+    if version >= 2:
+        if len(body) < offset + _CTX_LEN.size + _CRC.size:
+            raise FrameRejected(
+                "v2 frame too short for its context length field",
+                cause="protocol")
+        (ctx_len,) = _CTX_LEN.unpack_from(body, offset)
+        offset += _CTX_LEN.size
+        if len(body) < offset + ctx_len + _CRC.size:
+            raise FrameRejected(
+                "v2 frame claims a %d-byte context beyond its body"
+                % ctx_len, cause="protocol")
+        if ctx_len:
+            try:
+                context = json.loads(
+                    body[offset:offset + ctx_len].decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as exc:
+                raise FrameRejected(
+                    "undecodable trace context: %s" % exc,
+                    cause="protocol") from exc
+            if not isinstance(context, dict):
+                raise FrameRejected(
+                    "trace context is not a JSON object",
+                    cause="protocol")
+        offset += ctx_len
+    payload = body[offset:-_CRC.size]
     if frame_type not in _FRAME_TYPES:
         raise FrameRejected("unknown frame type %d" % frame_type,
                             cause="protocol")
-    return Frame(frame_type, sequence, payload)
+    return Frame(frame_type, sequence, payload, context, version)
 
 
 def recv_exact(sock, count):
@@ -137,7 +212,8 @@ def recv_exact(sock, count):
     return b"".join(chunks)
 
 
-def read_frame(sock, max_frame_bytes=DEFAULT_MAX_FRAME_BYTES):
+def read_frame(sock, max_frame_bytes=DEFAULT_MAX_FRAME_BYTES,
+               accept_versions=ACCEPTED_VERSIONS):
     """Read and decode one whole frame from ``sock``.
 
     Raises :class:`NetworkError` on timeout/close and
@@ -153,14 +229,17 @@ def read_frame(sock, max_frame_bytes=DEFAULT_MAX_FRAME_BYTES):
         raise FrameRejected(
             "frame claims %d bytes, below the %d-byte minimum"
             % (length, MIN_FRAME_BYTES), cause="protocol")
-    return decode_frame(recv_exact(sock, length))
+    return decode_frame(recv_exact(sock, length),
+                        accept_versions=accept_versions)
 
 
-def send_frame(sock, frame_type, sequence, payload=b""):
+def send_frame(sock, frame_type, sequence, payload=b"", context=None,
+               version=VERSION):
     """Encode and send one frame; raises :class:`NetworkError` on
     failure (timeout, reset, closed peer)."""
     try:
-        sock.sendall(encode_frame(frame_type, sequence, payload))
+        sock.sendall(encode_frame(frame_type, sequence, payload,
+                                  context=context, version=version))
     except socket.timeout as exc:
         raise NetworkError("send timed out") from exc
     except OSError as exc:

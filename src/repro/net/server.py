@@ -24,7 +24,11 @@ Robustness properties:
   or dead client can hold at most one handler thread, never the archive.
 
 Stats are plain attributes; pass ``observability`` to mirror them as
-``repro_net_server_*`` gauges on its metrics registry.
+``repro_net_server_*`` gauges on its metrics registry.  A v2 request
+frame carrying a trace context makes the server's ``net.serve`` record
+join the sender's trace (``trace`` + ``link`` fields, schema v2);
+responses are sent in the version the request arrived in, so a v1 peer
+never sees v2 bytes.
 """
 
 import os
@@ -44,6 +48,7 @@ from repro.net.frames import (
     read_frame,
     send_frame,
 )
+from repro.obs.trace import trace_context
 from repro.storage.journal import Archive
 
 #: Default cap on concurrently served connections.
@@ -100,6 +105,7 @@ class SegmentServer:
         self._slots = threading.Semaphore(max_connections)
         self._handlers = set()
         self._handlers_lock = threading.Lock()
+        self.observability = observability
         self._tracer = (observability.tracer if observability is not None
                         else None)
         if observability is not None:
@@ -176,7 +182,9 @@ class SegmentServer:
                 self.stats.rejected_connections += 1
                 try:
                     sock.settimeout(self.request_timeout)
-                    send_frame(sock, RESP_ERROR, 0, b"busy")
+                    # No request was read, so the peer's version is
+                    # unknown — v1 is the one both sides always accept.
+                    send_frame(sock, RESP_ERROR, 0, b"busy", version=1)
                 except NetworkError:
                     pass
                 finally:
@@ -221,41 +229,58 @@ class SegmentServer:
                 self.stats.idle_closes += 1
             return False
         self.stats.requests += 1
-        try:
-            if frame.type == REQ_LATEST:
-                self.stats.latest_requests += 1
-                head = self._archive.latest_sequence() or 0
-                self._send(sock, RESP_LATEST, head)
-            elif frame.type == REQ_FETCH:
-                self.stats.fetch_requests += 1
-                blob = self._archive.read_raw(frame.sequence)
-                if blob is None:
-                    self.stats.missing_responses += 1
-                    self._send(sock, RESP_MISSING, frame.sequence)
+        # A v2 request may carry the sender's trace context: enter it so
+        # this node's records join that trace (with a link back to the
+        # remote span — the cross-node parent edge, schema v2).
+        ctx = frame.context or {}
+        trace_id = ctx.get("trace") if isinstance(ctx.get("trace"), str) \
+            else None
+        link = None
+        if trace_id is not None and isinstance(ctx.get("span"), int):
+            link = {"trace": trace_id, "span": ctx["span"]}
+            if isinstance(ctx.get("node"), str):
+                link["node"] = ctx["node"]
+        with trace_context(trace_id, link=link):
+            try:
+                if frame.type == REQ_LATEST:
+                    self.stats.latest_requests += 1
+                    head = self._archive.latest_sequence() or 0
+                    self._send(sock, RESP_LATEST, head, version=frame.version)
+                elif frame.type == REQ_FETCH:
+                    self.stats.fetch_requests += 1
+                    blob = self._archive.read_raw(frame.sequence)
+                    if blob is None:
+                        self.stats.missing_responses += 1
+                        self._send(sock, RESP_MISSING, frame.sequence,
+                                   version=frame.version)
+                    else:
+                        self._send(sock, RESP_SEGMENT, frame.sequence, blob,
+                                   version=frame.version)
                 else:
-                    self._send(sock, RESP_SEGMENT, frame.sequence, blob)
-            else:
-                self.stats.bad_frames += 1
-                self._send(sock, RESP_ERROR, frame.sequence,
-                           b"unexpected frame type %d" % frame.type)
+                    self.stats.bad_frames += 1
+                    self._send(sock, RESP_ERROR, frame.sequence,
+                               b"unexpected frame type %d" % frame.type,
+                               version=frame.version)
+                    return False
+            except NetworkError:
+                self.stats.timeouts += 1
                 return False
-        except NetworkError:
-            self.stats.timeouts += 1
-            return False
-        if self._tracer is not None:
-            self._tracer.event("net.serve", type=frame.type,
-                               sequence=frame.sequence)
+            if self._tracer is not None:
+                self._tracer.event("net.serve", type=frame.type,
+                                   sequence=frame.sequence)
         return True
 
-    def _send(self, sock, frame_type, sequence, payload=b""):
-        send_frame(sock, frame_type, sequence, payload)
+    def _send(self, sock, frame_type, sequence, payload=b"", version=None):
+        # Answer in the version the request arrived in: a v1 peer must
+        # never be handed v2 bytes it cannot parse.
+        send_frame(sock, frame_type, sequence, payload,
+                   version=version if version is not None else 1)
         self.stats.bytes_sent += len(payload)
 
     # -- metrics -------------------------------------------------------------
 
     def _bind_metrics(self, registry):
-        gauges = {}
-        for name, attr, help_text in (
+        registry.mirror(self.stats, (
             ("repro_net_server_connections", "connections",
              "Connections accepted by the segment server"),
             ("repro_net_server_rejected_connections",
@@ -271,14 +296,7 @@ class SegmentServer:
              "Undecodable or mistyped request frames dropped"),
             ("repro_net_server_bytes_sent", "bytes_sent",
              "Segment payload bytes sent"),
-        ):
-            gauges[attr] = registry.gauge(name, help_text)
-
-        def refresh(_registry):
-            for attr, gauge in gauges.items():
-                gauge.set(getattr(self.stats, attr))
-
-        registry.register_collector(refresh)
+        ), name="segment-server")
 
 
 class _RecvAdapter:

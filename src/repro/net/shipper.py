@@ -30,6 +30,15 @@ retry:
 ``stats`` mirrors into ``repro_net_*`` gauges via :meth:`bind_metrics`
 (done automatically when an observability hub is passed), and retries,
 timeouts and reconnects emit ``net.*`` trace events.
+
+**Version negotiation.**  The shipper speaks protocol v2 by default,
+attaching the caller's trace context (trace id, open span, node name)
+to each request so the server's spans join the same trace.  A v1-only
+server cannot parse v2 frames — it drops the connection — so the
+shipper **downgrades to v1** on a network fault seen before the first
+successful v2 exchange (``stats.version_downgrades``); once a v2
+response has been accepted the version is latched and ordinary network
+flakiness can no longer downgrade it.
 """
 
 import random
@@ -45,10 +54,11 @@ from repro.net.frames import (
     RESP_LATEST,
     RESP_MISSING,
     RESP_SEGMENT,
+    VERSION,
     read_frame,
     send_frame,
 )
-from repro.obs.trace import NULL_TRACER
+from repro.obs.trace import NULL_TRACER, current_trace_id
 from repro.storage.replication import LogShipper
 from repro.storage.timemodel import SystemClock
 
@@ -60,6 +70,12 @@ DEFAULT_BACKOFF_SECONDS = 0.02
 DEFAULT_MAX_BACKOFF_SECONDS = 0.25
 #: Fraction of each backoff randomly shaved off (full-jitter-ish).
 DEFAULT_BACKOFF_JITTER = 0.5
+
+
+class _ServerRefused(NetworkError):
+    """A ``RESP_ERROR`` reply (server at capacity).  The server answered
+    without reading the request, so this carries no information about
+    protocol-version support and must not trigger a downgrade."""
 
 
 @dataclass
@@ -80,6 +96,7 @@ class ShipperStats:
     rejections_by_cause: dict = field(default_factory=dict)
     bytes_received: int = 0        # segment payload bytes accepted
     give_ups: int = 0              # requests that exhausted max_retries
+    version_downgrades: int = 0    # v2 -> v1 fallbacks (v1-only peer)
 
     def snapshot(self):
         out = dict(self.__dict__)
@@ -120,6 +137,8 @@ class SocketShipper(LogShipper):
         self.clock = clock if clock is not None else SystemClock()
         self.stats = ShipperStats()
         self._sock = None
+        self.protocol_version = VERSION
+        self._v2_confirmed = False
         self._tracer = (observability.tracer if observability is not None
                         else NULL_TRACER)
         if observability is not None:
@@ -205,6 +224,17 @@ class SocketShipper(LogShipper):
             except NetworkError as exc:
                 self._disconnect()
                 self._note_failure(exc)
+                if (self.protocol_version >= 2 and not self._v2_confirmed
+                        and not isinstance(exc, _ServerRefused)):
+                    # No v2 response has ever come back, so this fault
+                    # may simply be a v1-only peer dropping our v2
+                    # frame: fall back and retry in v1.  (Worst case a
+                    # flaky network costs us the trace context, never
+                    # correctness.)
+                    self.protocol_version = 1
+                    self.stats.version_downgrades += 1
+                    self._tracer.event("net.version-downgrade",
+                                       error=str(exc))
                 attempts += 1
                 if attempts > self.max_retries:
                     self.stats.give_ups += 1
@@ -217,11 +247,16 @@ class SocketShipper(LogShipper):
 
     def _exchange(self, frame_type, sequence, expect):
         sock = self._connect()
-        send_frame(sock, frame_type, sequence)
+        version = self.protocol_version
+        send_frame(sock, frame_type, sequence,
+                   context=self._outgoing_context() if version >= 2
+                   else None, version=version)
         frame = read_frame(sock, max_frame_bytes=self.max_frame_bytes)
+        if version >= 2 and frame.version >= 2:
+            self._v2_confirmed = True
         if frame.type == RESP_ERROR:
             self.stats.server_busy += 1
-            raise NetworkError(
+            raise _ServerRefused(
                 "server refused request: %s"
                 % frame.payload.decode("utf-8", "replace"))
         if frame.type not in expect:
@@ -237,6 +272,20 @@ class SocketShipper(LogShipper):
                 % (sequence, frame.sequence), cause="sequence")
         self.stats.responses += 1
         return frame
+
+    def _outgoing_context(self):
+        """The trace context to ride on a v2 request (None when no
+        trace is active on the calling thread)."""
+        trace_id = current_trace_id()
+        if trace_id is None:
+            return None
+        context = {"trace": trace_id}
+        span_id = self._tracer.current_span_id()
+        if span_id is not None:
+            context["span"] = span_id
+        if self._tracer.node_id is not None:
+            context["node"] = self._tracer.node_id
+        return context
 
     def _note_failure(self, exc):
         if isinstance(exc, FrameRejected):
@@ -269,8 +318,7 @@ class SocketShipper(LogShipper):
             return registry
         self._bound_registries = getattr(self, "_bound_registries", [])
         self._bound_registries.append(registry)
-        gauges = {}
-        for name, attr, help_text in (
+        registry.mirror(self.stats, (
             ("repro_net_connects", "connects",
              "Connections established to the segment server"),
             ("repro_net_reconnects", "reconnects",
@@ -291,21 +339,26 @@ class SocketShipper(LogShipper):
              "Segment payload bytes accepted"),
             ("repro_net_give_ups", "give_ups",
              "Requests that exhausted their retry budget"),
-        ):
-            gauges[attr] = registry.gauge(name, help_text)
+            ("repro_net_version_downgrades", "version_downgrades",
+             "Protocol downgrades to v1 for a v1-only peer"),
+        ), name="socket-shipper")
+
+        # The per-cause rejection gauges are dynamic (a cause exists
+        # only once seen), so they cannot ride the static mirror: a
+        # dedicated collector creates and claims each on first sight.
         reject_causes = {}
 
-        def refresh(_registry):
-            for attr, gauge in gauges.items():
-                gauge.set(getattr(self.stats, attr))
+        def refresh_causes(_registry):
             for cause, count in self.stats.rejections_by_cause.items():
                 if cause not in reject_causes:
+                    name = "repro_net_rejected_%s" % cause
                     reject_causes[cause] = registry.gauge(
-                        "repro_net_rejected_%s" % cause,
-                        "Frames rejected with cause %r" % cause)
+                        name, "Frames rejected with cause %r" % cause)
+                    registry.claim(name, "socket-shipper")
                 reject_causes[cause].set(count)
 
-        registry.register_collector(refresh)
+        registry.register_collector(refresh_causes,
+                                    name="socket-shipper-causes")
         return registry
 
     def __repr__(self):

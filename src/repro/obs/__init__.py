@@ -15,6 +15,19 @@ it owns one tracer (disabled by default — the hot path pays a predicate
 check), one registry pre-seeded with the query-level instruments, and a
 bounded slow-query log fed by :meth:`Observability.observe_query`, which
 the query engine calls once per evaluation.
+
+The cluster-wide plane builds on the hubs:
+
+* :mod:`repro.obs.ops` — per-node ``/metrics`` / ``/healthz`` / ``/varz``
+  HTTP endpoints (:class:`OpsServer`), merged across nodes by
+  ``python -m repro.obs.aggregate``;
+* :func:`trace_context` / :func:`new_trace_id` — a thread-local trace id
+  (plus attempt number and cross-node parent link) stamped onto every
+  record any tracer emits while the context is active, carried across
+  processes by the ``repro.net`` v2 frame protocol;
+* :mod:`repro.obs.flight` — the :class:`FlightRecorder` bounded on-disk
+  ring, dumped into post-mortem bundles on failover and rendered by
+  ``python -m repro.obs.postmortem``.
 """
 
 import time
@@ -34,8 +47,12 @@ from repro.obs.trace import (
     DEFAULT_TRACE_CAPACITY,
     NULL_SPAN,
     NULL_TRACER,
+    SUPPORTED_SCHEMA_VERSIONS,
     TRACE_SCHEMA_VERSION,
     Tracer,
+    current_trace_id,
+    new_trace_id,
+    trace_context,
 )
 
 #: Slow-query log entries kept (oldest evicted first).
@@ -48,12 +65,18 @@ class Observability:
     ``slow_query_seconds`` is the slow-log threshold (None disables the
     log; ``0.0`` logs every query).  The tracer starts disabled; call
     ``hub.tracer.enable()`` (or pass an enabled one) to start recording.
+    ``node_id`` names this hub in cluster-wide output: it is stamped on
+    every trace record (schema v2) and identifies the node in flight
+    bundles and aggregated metrics.
     """
 
     def __init__(self, tracer=None, metrics=None, slow_query_seconds=None,
-                 slow_query_capacity=DEFAULT_SLOW_LOG_CAPACITY):
+                 slow_query_capacity=DEFAULT_SLOW_LOG_CAPACITY,
+                 node_id=None):
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if node_id is not None:
+            self.tracer.node_id = node_id
         self.slow_query_seconds = slow_query_seconds
         self._slow_queries = deque(maxlen=slow_query_capacity)
         m = self.metrics
@@ -99,10 +122,27 @@ class Observability:
                 "rows": rows,
                 "degraded": degraded,
                 "error": error,
+                "p99_seconds": self._seconds.quantile(0.99),
                 "logged_at": time.time(),
             })
 
     # -- reading ---------------------------------------------------------------
+
+    @property
+    def node_id(self):
+        """This hub's cluster-wide node name (None for standalone use)."""
+        return self.tracer.node_id
+
+    def query_quantiles(self):
+        """Estimated p50/p95/p99 query latency from the histogram buckets.
+
+        Values are ``None`` until at least one query has been observed.
+        """
+        return {
+            "p50_seconds": self._seconds.quantile(0.50),
+            "p95_seconds": self._seconds.quantile(0.95),
+            "p99_seconds": self._seconds.quantile(0.99),
+        }
 
     def slow_queries(self):
         """The retained slow-query entries, oldest first (list of dicts)."""
@@ -116,12 +156,17 @@ class Observability:
         return self.metrics.render_prometheus()
 
 
+from repro.obs.flight import FlightRecorder      # noqa: E402
+from repro.obs.metrics import parse_exposition   # noqa: E402
+from repro.obs.ops import OpsError, OpsServer    # noqa: E402
+
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_PAGE_IO_BUCKETS",
     "DEFAULT_SLOW_LOG_CAPACITY",
     "DEFAULT_TRACE_CAPACITY",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsError",
@@ -130,7 +175,14 @@ __all__ = [
     "NULL_TRACER",
     "Observability",
     "OperatorProfile",
+    "OpsError",
+    "OpsServer",
     "QueryProfile",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "TRACE_SCHEMA_VERSION",
     "Tracer",
+    "current_trace_id",
+    "new_trace_id",
+    "parse_exposition",
+    "trace_context",
 ]

@@ -158,6 +158,32 @@ class Histogram:
         out.append((float("inf"), running + self.bucket_counts[-1]))
         return out
 
+    def quantile(self, q):
+        """Estimate the ``q``-quantile (``0 < q <= 1``) by linear
+        interpolation within the containing bucket — the standard
+        Prometheus ``histogram_quantile`` estimate, computed locally.
+
+        Returns None with no observations.  A quantile landing in the
+        overflow (+Inf) bucket returns the largest finite edge — the
+        honest answer is "at least this much".
+        """
+        if not 0.0 < q <= 1.0:
+            raise MetricsError("quantile %r outside (0, 1]" % (q,))
+        with self._lock:
+            total = self.count
+            if total == 0:
+                return None
+            rank = q * total
+            running = 0
+            lower = 0.0
+            for edge, count in zip(self.buckets, self.bucket_counts):
+                if count and running + count >= rank:
+                    fraction = (rank - running) / count
+                    return lower + (edge - lower) * fraction
+                running += count
+                lower = edge
+            return self.buckets[-1]
+
     def snapshot_value(self):
         return {
             "count": self.count,
@@ -174,12 +200,17 @@ class MetricsRegistry:
     ``register_collector(fn)`` adds a callback invoked with the registry at
     the start of every :meth:`snapshot` / :meth:`render_prometheus`, which
     is how existing stats objects are absorbed without rewriting their
-    increment sites.
+    increment sites.  :meth:`mirror` is the declarative form: a spec of
+    ``(metric_name, stats_key, help)`` rows refreshed from one stats
+    object, with each mirrored name **claimed** by its collector — two
+    collectors claiming the same name is a wiring bug (one would silently
+    overwrite the other at every snapshot) and raises.
     """
 
     def __init__(self):
         self._instruments = {}
         self._collectors = []
+        self._owners = {}
         self._lock = threading.Lock()
 
     # -- instrument creation ---------------------------------------------------
@@ -209,10 +240,69 @@ class MetricsRegistry:
     def histogram(self, name, help="", buckets=DEFAULT_LATENCY_BUCKETS):
         return self._get_or_create(Histogram, name, help, buckets=buckets)
 
-    def register_collector(self, fn):
-        """Add a pull callback ``fn(registry)`` run before every snapshot."""
+    def register_collector(self, fn, owns=(), name=None):
+        """Add a pull callback ``fn(registry)`` run before every snapshot.
+
+        ``owns`` lists metric names this collector exclusively refreshes;
+        a second collector claiming an owned name raises (see
+        :meth:`claim`).  ``name`` labels the collector in ownership
+        errors and :meth:`collector_owners`.
+        """
+        owner = name or getattr(fn, "__qualname__", repr(fn))
+        for metric in owns:
+            self.claim(metric, owner)
         self._collectors.append(fn)
         return fn
+
+    def claim(self, metric_name, owner):
+        """Record ``owner`` as the sole refresher of ``metric_name``.
+
+        Idempotent for the same owner; a different owner raises
+        :class:`MetricsError` — the hygiene guarantee behind "no metric
+        is fed by two collectors".
+        """
+        with self._lock:
+            holder = self._owners.setdefault(metric_name, owner)
+        if holder != owner:
+            raise MetricsError(
+                "metric %r is already refreshed by collector %r "
+                "(refusing a second claim by %r)"
+                % (metric_name, holder, owner))
+
+    def collector_owners(self):
+        """``{metric_name: collector_name}`` for every claimed metric."""
+        with self._lock:
+            return dict(self._owners)
+
+    def mirror(self, stats, spec, name=None):
+        """Absorb a stats object into pull-refreshed gauges.
+
+        ``stats`` is the object (or a zero-argument callable returning
+        the object) whose attributes — or keys, when it is a dict — hold
+        the live counters; ``spec`` is an iterable of
+        ``(metric_name, stats_key, help)`` rows.  Creates one gauge per
+        row, claims each name for this collector, and registers a
+        collector copying ``stats`` into the gauges at snapshot time.
+        Returns the collector function (useful for tests).
+        """
+        rows = [(metric, key, help_text) for metric, key, help_text in spec]
+        gauges = {key: self.gauge(metric, help_text)
+                  for metric, key, help_text in rows}
+        getter = stats if callable(stats) else (lambda: stats)
+
+        def refresh(_registry):
+            source = getter()
+            if isinstance(source, dict):
+                for key, gauge in gauges.items():
+                    gauge.set(source.get(key, 0))
+            else:
+                for key, gauge in gauges.items():
+                    gauge.set(getattr(source, key))
+
+        self.register_collector(
+            refresh, owns=[metric for metric, _key, _help in rows],
+            name=name or "mirror:%s" % rows[0][0])
+        return refresh
 
     # -- reading ---------------------------------------------------------------
 
@@ -258,3 +348,64 @@ def _format(value):
     if isinstance(value, float) and value.is_integer():
         return str(int(value))
     return repr(value) if isinstance(value, float) else str(value)
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$")
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_exposition(text):
+    """Parse Prometheus text exposition into a structured dict.
+
+    Returns ``{"samples": [(name, labels_dict, value), ...],
+    "help": {name: help}, "type": {name: kind}}``.  Raises
+    :class:`MetricsError` on a line that is neither a comment, blank,
+    nor a well-formed sample — the shared parser behind the
+    :mod:`repro.obs.aggregate` merger and the metric-hygiene lint.
+    """
+    samples = []
+    helps = {}
+    types = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP "):].split(None, 1)
+            helps[rest[0]] = rest[1] if len(rest) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE "):].split(None, 1)
+            types[rest[0]] = rest[1] if len(rest) > 1 else ""
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise MetricsError(
+                "exposition line %d is not a valid sample: %r"
+                % (number, line))
+        labels = {}
+        if match.group("labels"):
+            labels = {key: value.replace('\\"', '"')
+                      for key, value
+                      in _LABEL_RE.findall(match.group("labels"))}
+        raw = match.group("value")
+        try:
+            if raw in ("+Inf", "Inf"):
+                value = float("inf")
+            elif raw == "-Inf":
+                value = float("-inf")
+            elif raw == "NaN":
+                value = float("nan")
+            else:
+                value = float(raw)
+        except ValueError:
+            raise MetricsError(
+                "exposition line %d has a non-numeric value %r"
+                % (number, raw))
+        samples.append((match.group("name"), labels, value))
+    return {"samples": samples, "help": helps, "type": types}

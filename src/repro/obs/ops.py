@@ -1,0 +1,231 @@
+"""Per-node ops endpoints: ``/metrics``, ``/healthz`` and ``/varz`` over
+stdlib ``http.server``.
+
+Every node of a cluster — an :class:`~repro.core.database.XmlDatabase`,
+a :class:`~repro.server.Server`, a whole
+:class:`~repro.cluster.replicaset.ReplicaSet`, or a
+:class:`~repro.net.server.SegmentServer` — can be fronted by one
+:class:`OpsServer`, giving operators the same three URLs everywhere:
+
+* ``/metrics`` — the node's Prometheus text exposition (what
+  :meth:`~repro.obs.metrics.MetricsRegistry.render_prometheus` emits);
+* ``/healthz`` — a JSON liveness/health summary, status **200** when
+  the node can serve and **503** when it cannot (a fenced primary, a
+  stopped server, a set with no writable primary);
+* ``/varz`` — the node's full stats snapshot as JSON (``db.stats()``,
+  ``replica_set.status()``, server/transport counters).
+
+The server is deliberately tiny: a ``ThreadingHTTPServer`` on a daemon
+thread, no routing framework, no dependency beyond the standard
+library.  ``port=0`` binds an ephemeral port; read :attr:`address`
+after :meth:`start`.  N nodes' ``/metrics`` pages merge into one
+node-labelled exposition with :mod:`repro.obs.aggregate`.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+
+class OpsError(Exception):
+    """Ops endpoint misuse (unsupported target, server not started)."""
+
+
+class _Adapter:
+    """Resolve any supported target into the three endpoint callables."""
+
+    def __init__(self, target):
+        self.target = target
+
+    # -- duck-typed target detection ----------------------------------------
+
+    @property
+    def _kind(self):
+        target = self.target
+        if hasattr(target, "read_candidates") and hasattr(target, "status"):
+            return "replicaset"
+        if hasattr(target, "stats") and callable(getattr(target, "stats")) \
+                and hasattr(target, "ping"):
+            return "database"
+        if hasattr(target, "submit") and hasattr(target, "running"):
+            return "server"
+        if hasattr(target, "archive_dir"):
+            return "segmentserver"
+        raise OpsError("unsupported ops target %r" % (target,))
+
+    def _observability(self):
+        hub = getattr(self.target, "observability", None)
+        if hub is None:
+            raise OpsError(
+                "target %r has no observability hub attached"
+                % (self.target,))
+        return hub
+
+    # -- the three endpoints -------------------------------------------------
+
+    def metrics_text(self):
+        return self._observability().render_prometheus()
+
+    def healthz(self):
+        """``(ok, body_dict)`` for this node."""
+        kind = self._kind
+        target = self.target
+        if kind == "replicaset":
+            status = target.status()
+            primary = status.get("primary")
+            ok = primary is not None and not target.closed
+            body = {
+                "ok": ok,
+                "role": "replicaset",
+                "epoch": status["epoch"],
+                "primary": primary,
+                "acked_sequence": status["acked_sequence"],
+                "backends": [
+                    {"id": b["id"], "role": b["role"],
+                     "state": b.get("state"), "lag": b["lag"]}
+                    for b in status["backends"]
+                ],
+            }
+            return ok, body
+        if kind == "database":
+            try:
+                sequence = target.ping()
+                return True, {"ok": True, "role": "database",
+                              "commit_sequence": sequence}
+            except BaseException as exc:
+                return False, {"ok": False, "role": "database",
+                               "error": str(exc)}
+        if kind == "server":
+            ok = bool(target.running)
+            return ok, {"ok": ok, "role": "server",
+                        "stats": target.stats.as_dict()}
+        ok = bool(target.running)
+        return ok, {"ok": ok, "role": "segmentserver",
+                    "archive_dir": str(target.archive_dir)}
+
+    def varz(self):
+        kind = self._kind
+        target = self.target
+        if kind == "replicaset":
+            return target.status()
+        if kind == "database":
+            return target.stats()
+        if kind == "server":
+            return target.stats.as_dict()
+        return target.stats.snapshot()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # The adapter is attached per-server via a subclass attribute.
+    adapter = None
+    server_version = "repro-ops/1"
+
+    def do_GET(self):
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                body = self.adapter.metrics_text().encode("utf-8")
+                self._reply(200, body,
+                            "text/plain; version=0.0.4; charset=utf-8")
+            elif path == "/healthz":
+                ok, payload = self.adapter.healthz()
+                body = (json.dumps(payload, sort_keys=True, default=str)
+                        + "\n").encode("utf-8")
+                self._reply(200 if ok else 503, body, "application/json")
+            elif path == "/varz":
+                body = (json.dumps(self.adapter.varz(), sort_keys=True,
+                                   default=str) + "\n").encode("utf-8")
+                self._reply(200, body, "application/json")
+            else:
+                self._reply(404, b'{"error": "not found"}\n',
+                            "application/json")
+        except BrokenPipeError:
+            pass
+        except BaseException as exc:
+            # An endpoint must answer even when the node is mid-failure:
+            # a scrape error becomes a 500, never a hung connection.
+            try:
+                body = (json.dumps({"error": str(exc)}) + "\n").encode(
+                    "utf-8")
+                self._reply(500, body, "application/json")
+            except OSError:
+                pass
+
+    def _reply(self, code, body, content_type):
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):
+        """Silence per-request stderr logging."""
+
+
+class OpsServer:
+    """Serve ``/metrics``, ``/healthz`` and ``/varz`` for one target.
+
+    ``target`` is any of the supported node types (database, server,
+    replica set, segment server); the right health and stats surfaces
+    are resolved by duck typing.  The HTTP listener runs on a daemon
+    thread and binds ``host:port`` (``port=0`` picks an ephemeral one).
+    """
+
+    def __init__(self, target, host="127.0.0.1", port=0):
+        self.target = target
+        self.host = host
+        self.port = port
+        self._adapter = _Adapter(target)
+        self._adapter._kind  # fail fast on unsupported targets
+        self._httpd = None
+        self._thread = None
+
+    @property
+    def address(self):
+        """``(host, port)`` the endpoint is bound to (after start)."""
+        if self._httpd is None:
+            raise OpsError("ops server is not started")
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self):
+        host, port = self.address
+        return "http://%s:%d" % (host, port)
+
+    @property
+    def running(self):
+        return self._httpd is not None
+
+    def start(self):
+        if self._httpd is not None:
+            return self
+        handler = type("_BoundHandler", (_Handler,),
+                       {"adapter": self._adapter})
+        self._httpd = ThreadingHTTPServer((self.host, self.port), handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.1},
+            name="repro-ops", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self):
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._httpd = None
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+
+    def __repr__(self):
+        where = ("%s:%d" % self.address if self.running
+                 else "%s:%d (stopped)" % (self.host, self.port))
+        return "OpsServer(%s, target=%r)" % (where, type(self.target).__name__)

@@ -34,6 +34,7 @@ import threading
 import time
 from concurrent.futures import Future
 
+from repro.obs.trace import current_context, trace_context
 from repro.query.admission import QueryRejected
 
 _STOP = object()
@@ -84,7 +85,7 @@ class ServerStats:
 
 class _Request:
     __slots__ = ("kind", "path", "snapshot", "runtime", "profile",
-                 "analyze", "future", "submitted_at")
+                 "analyze", "future", "submitted_at", "trace")
 
     def __init__(self, kind, path, snapshot, runtime, profile, analyze):
         self.kind = kind
@@ -95,6 +96,10 @@ class _Request:
         self.analyze = analyze
         self.future = Future()
         self.submitted_at = time.monotonic()
+        # Capture the submitter's trace context: the worker thread that
+        # serves this request re-enters it, so the server-request span
+        # joins the caller's trace across the thread hop.
+        self.trace = current_context()
 
 
 class Server:
@@ -204,6 +209,12 @@ class Server:
     def running(self):
         return self._running
 
+    @property
+    def observability(self):
+        """The database's hub — the server instruments itself on it, so
+        ops endpoints scrape server and database metrics together."""
+        return self._db.observability
+
     # -- the client surface ----------------------------------------------------
 
     def submit(self, path, snapshot=True, runtime=None, profile=None,
@@ -296,8 +307,10 @@ class Server:
             return session
         tracer = self._db.observability.tracer
         queued = time.monotonic() - request.submitted_at
-        with tracer.span("server-request", worker=index, op=request.kind,
-                         path=str(request.path), queued_seconds=queued):
+        ctx = request.trace
+        with trace_context(*(ctx if ctx is not None else (None,))), \
+                tracer.span("server-request", worker=index, op=request.kind,
+                            path=str(request.path), queued_seconds=queued):
             try:
                 if request.snapshot:
                     session = self._fresh(session)

@@ -180,6 +180,7 @@ class StandbyReplica:
         self.stats = ReplicationStats()
         self.promoted = False
         self.stall_reason = None   # divergence description, or None
+        self.observability = observability
         self._tracer = (observability.tracer if observability is not None
                         else NULL_TRACER)
         if disk_factory is None:
@@ -458,6 +459,18 @@ class StandbyReplica:
             return db
 
     # -- metrics -------------------------------------------------------------
+
+    def attach_observability(self, observability):
+        """Re-point this replica's spans and metrics at ``observability``.
+
+        What a :class:`~repro.cluster.replicaset.ReplicaSet` calls to give
+        each standby its own per-node hub (node-stamped trace records,
+        flight recording) after construction.  Returns the hub.
+        """
+        self.observability = observability
+        self._tracer = observability.tracer
+        self.bind_metrics(observability.metrics)
+        return observability
 
     def bind_metrics(self, registry):
         """Mirror :attr:`stats` into pull-refreshed gauges on ``registry``.

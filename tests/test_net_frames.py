@@ -23,8 +23,10 @@ from repro.net import (
     is_network_error,
 )
 from repro.net.frames import (
+    ACCEPTED_VERSIONS,
     MAGIC,
     MIN_FRAME_BYTES,
+    VERSION,
     read_frame,
     recv_exact,
     send_frame,
@@ -95,6 +97,83 @@ class TestCodec:
         assert info.value.cause == "protocol"
 
 
+class TestTraceContextV2:
+    """The v2 trace-context blob between header and payload."""
+
+    def test_default_version_is_2_and_both_are_accepted(self):
+        assert VERSION == 2
+        assert ACCEPTED_VERSIONS == (1, 2)
+
+    def test_context_roundtrips(self):
+        ctx = {"trace": "ab12cd34ef56ab78", "span": 7, "node": "node-1"}
+        wire = encode_frame(REQ_FETCH, 11, b"payload", context=ctx)
+        frame = decode_frame(body_of(wire))
+        assert frame.version == 2
+        assert frame.context == ctx
+        assert frame.type == REQ_FETCH
+        assert frame.sequence == 11
+        assert frame.payload == b"payload"
+
+    def test_v2_frame_without_context_decodes_to_none(self):
+        frame = decode_frame(body_of(encode_frame(REQ_LATEST, 0)))
+        assert frame.version == 2
+        assert frame.context is None
+
+    def test_v1_frames_still_decode(self):
+        wire = encode_frame(RESP_SEGMENT, 5, b"seg", version=1)
+        frame = decode_frame(body_of(wire))
+        assert frame.version == 1
+        assert frame.context is None
+        assert frame.payload == b"seg"
+
+    def test_v1_cannot_carry_a_context(self):
+        with pytest.raises(FrameRejected) as info:
+            encode_frame(REQ_FETCH, 1, context={"trace": "x"}, version=1)
+        assert info.value.cause == "protocol"
+
+    def test_accept_versions_restriction(self):
+        # A strict-v1 reader (the downgrade path) rejects v2 frames as
+        # an incompatible peer, not as line noise.
+        wire = encode_frame(REQ_LATEST, 0)
+        with pytest.raises(FrameRejected) as info:
+            decode_frame(body_of(wire), accept_versions=(1,))
+        assert info.value.cause == "protocol"
+        assert "version" in str(info.value)
+
+    def test_context_flipped_bytes_still_caught_by_crc(self):
+        ctx = {"trace": "deadbeefdeadbeef", "span": 3}
+        body = body_of(encode_frame(REQ_FETCH, 2, b"p", context=ctx))
+        for index in range(len(body)):
+            corrupted = bytearray(body)
+            corrupted[index] ^= 0xFF
+            with pytest.raises(FrameRejected) as info:
+                decode_frame(bytes(corrupted))
+            assert info.value.cause == "crc"
+
+    def test_context_length_beyond_body_rejected(self):
+        # Hand-build a v2 frame whose ctx_len points past the body but
+        # whose CRC is valid: must fail closed as a protocol error.
+        import zlib
+
+        header = struct.pack("<4sBBQ", MAGIC, 2, REQ_LATEST, 0)
+        body = header + struct.pack("<H", 60000)
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        with pytest.raises(FrameRejected) as info:
+            decode_frame(body + struct.pack("<I", crc))
+        assert info.value.cause == "protocol"
+
+    def test_non_object_context_rejected(self):
+        import zlib
+
+        blob = b"[1, 2, 3]"
+        header = struct.pack("<4sBBQ", MAGIC, 2, REQ_LATEST, 0)
+        body = header + struct.pack("<H", len(blob)) + blob
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        with pytest.raises(FrameRejected) as info:
+            decode_frame(body + struct.pack("<I", crc))
+        assert info.value.cause == "protocol"
+
+
 class TestSocketHelpers:
     def make_pair(self):
         left, right = socket.socketpair()
@@ -107,7 +186,8 @@ class TestSocketHelpers:
         try:
             send_frame(left, RESP_SEGMENT, 9, b"abc")
             frame = read_frame(right)
-            assert frame == (RESP_SEGMENT, 9, b"abc")
+            assert (frame.type, frame.sequence, frame.payload) \
+                == (RESP_SEGMENT, 9, b"abc")
         finally:
             left.close()
             right.close()

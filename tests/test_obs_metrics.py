@@ -10,6 +10,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsError,
     MetricsRegistry,
+    parse_exposition,
 )
 
 
@@ -121,3 +122,82 @@ def test_snapshot_includes_histogram_structure():
     assert snap["count"] == 1
     assert snap["sum"] == 0.5
     assert snap["buckets"][0] == [1.0, 1]
+
+
+def test_quantile_empty_histogram_returns_none():
+    hist = Histogram("repro_h", buckets=(1.0, 2.0))
+    assert hist.quantile(0.5) is None
+
+
+def test_quantile_interpolates_within_bucket():
+    hist = Histogram("repro_h", buckets=(1.0, 2.0, 4.0))
+    for value in (0.5, 0.5, 1.5, 1.5):  # two per bucket
+        hist.observe(value)
+    # p50 → rank 2.0 lands exactly at the top of the first bucket.
+    assert hist.quantile(0.50) == pytest.approx(1.0)
+    # p75 → rank 3.0, halfway through the (1, 2] bucket.
+    assert hist.quantile(0.75) == pytest.approx(1.5)
+    assert hist.quantile(1.0) == pytest.approx(2.0)
+
+
+def test_quantile_overflow_reports_largest_finite_edge():
+    hist = Histogram("repro_h", buckets=(1.0, 2.0))
+    hist.observe(50.0)
+    assert hist.quantile(0.99) == 2.0
+
+
+def test_quantile_rejects_out_of_range():
+    hist = Histogram("repro_h", buckets=(1.0,))
+    with pytest.raises(MetricsError):
+        hist.quantile(0.0)
+    with pytest.raises(MetricsError):
+        hist.quantile(1.5)
+
+
+def test_mirror_absorbs_attr_and_dict_stats():
+    registry = MetricsRegistry()
+
+    class Stats:
+        shipped = 3
+        errors = 1
+
+    registry.mirror(Stats(), (
+        ("repro_test_shipped", "shipped", "Segments shipped"),
+        ("repro_test_errors", "errors", "Shipping errors"),
+    ), name="attr-source")
+    registry.mirror(lambda: {"applied": 7}, (
+        ("repro_test_applied", "applied", "Segments applied"),
+    ), name="dict-source")
+    snap = registry.snapshot()
+    assert snap["repro_test_shipped"] == 3
+    assert snap["repro_test_errors"] == 1
+    assert snap["repro_test_applied"] == 7
+    owners = registry.collector_owners()
+    assert owners["repro_test_shipped"] == "attr-source"
+    assert owners["repro_test_applied"] == "dict-source"
+
+
+def test_claim_is_idempotent_per_owner_but_exclusive_across():
+    registry = MetricsRegistry()
+    registry.claim("repro_spot", "alpha")
+    registry.claim("repro_spot", "alpha")  # same owner: fine
+    with pytest.raises(MetricsError):
+        registry.claim("repro_spot", "beta")
+
+
+def test_parse_exposition_round_trips_render():
+    registry = MetricsRegistry()
+    registry.counter("repro_total", "A counter").inc(2)
+    registry.histogram("repro_h", "A histogram",
+                       buckets=(1.0,)).observe(0.5)
+    parsed = parse_exposition(registry.render_prometheus())
+    by_name = {name: value for name, _labels, value in parsed["samples"]}
+    assert by_name["repro_total"] == 2
+    assert by_name["repro_h_count"] == 1
+    assert parsed["type"]["repro_h"] == "histogram"
+    assert parsed["help"]["repro_total"] == "A counter"
+
+
+def test_parse_exposition_rejects_garbage():
+    with pytest.raises(MetricsError):
+        parse_exposition("this is not a metric line\n")
