@@ -44,6 +44,7 @@ it automatically (see ``docs/OBSERVABILITY.md``).
 """
 
 import os
+import shutil
 import threading
 
 from repro.cluster.health import DOWN, HEALTHY, SUSPECT, BackendHealth
@@ -52,9 +53,11 @@ from repro.obs import Observability
 from repro.obs.flight import FlightRecorder, write_bundle
 from repro.obs.trace import new_trace_id, trace_context
 from repro.server import Server
-from repro.storage.errors import StorageError, TransientIOError
+from repro.storage.errors import (DiskFullError, StorageError,
+                                  TransientIOError, is_disk_full_error)
 from repro.storage.faults import CrashPoint
 from repro.storage.replication import LocalDirShipper, StandbyReplica
+from repro.storage.retention import CheckpointManager
 from repro.storage.timemodel import SystemClock
 
 #: Default bound, in commit groups, on how far behind the acked head a
@@ -83,6 +86,12 @@ def is_fatal_backend_error(exc, disk=None):
     if is_network_error(exc):
         # A partitioned backend may be perfectly healthy — a network
         # fault must walk the (network) ladder, never skip it.
+        return False
+    if is_disk_full_error(exc):
+        # A full volume is a degradation, not a death: the backend
+        # keeps serving reads and recovers in place once space returns,
+        # so failing over would trade a writable-later primary for a
+        # lagging one.
         return False
     if isinstance(exc, CrashPoint):
         return True
@@ -199,7 +208,8 @@ class ReplicaSet:
                  network_down_after=None, tail_limit=16, scratch_dir=None,
                  allow_divergent_failover=False, probe_path=None,
                  shipper_factory=None, observability=None, clock=None,
-                 flight_dir=None):
+                 flight_dir=None, retention_policy=None,
+                 checkpoint_dir=None):
         self.staleness_bound = staleness_bound
         self.suspect_after = suspect_after
         self.down_after = down_after
@@ -254,7 +264,16 @@ class ReplicaSet:
         self._rr = 0
         self.last_failover = None
         self.closed = False
+        #: :class:`~repro.storage.retention.RetentionPolicy` driving
+        #: checkpointed archive pruning on the primary (None = retention
+        #: off: the archive grows without bound, as before).
+        self.retention_policy = retention_policy
+        self.checkpoint_dir = checkpoint_dir
+        self._retention = None
+        self._degrade_handled = False
         self._init_metrics()
+        if retention_policy is not None:
+            self._attach_retention(primary, checkpoint_dir=checkpoint_dir)
         if flight_dir is not None:
             for recorder_id, hub in list(self._hubs.items()):
                 self._start_recorder(recorder_id, hub)
@@ -277,6 +296,21 @@ class ReplicaSet:
         hub.tracer.enable()
         self._recorders[recorder_id] = FlightRecorder(
             self.flight_dir, recorder_id, hub)
+
+    def _attach_retention(self, database, checkpoint_dir=None):
+        """Build and attach a :class:`CheckpointManager` over
+        ``database``'s archive (re-run per failover: the promoted
+        primary's archive is a new stream needing its own checkpoints)."""
+        archive = database.archive
+        if archive is None:
+            self._retention = None
+            return None
+        manager = CheckpointManager(
+            archive, policy=self.retention_policy,
+            checkpoint_dir=checkpoint_dir,
+            observability=database.observability)
+        self._retention = database.attach_retention(manager)
+        return manager
 
     def _new_health(self, node_id):
         return BackendHealth(
@@ -330,6 +364,27 @@ class ReplicaSet:
         self._m_failover_seconds = m.histogram(
             "repro_cluster_failover_seconds",
             "Failover duration: detection to writes re-pointed")
+        self._m_reseeds = m.counter(
+            "repro_cluster_reseeds_total",
+            "Standbys re-seeded from a primary snapshot after the "
+            "retention horizon outran their tail")
+        self._m_reseed_failures = m.counter(
+            "repro_cluster_reseed_failures_total",
+            "Snapshot re-seed attempts that failed (retried next tick)")
+        self._m_lag_budget_marks = m.counter(
+            "repro_cluster_lag_budget_marks_total",
+            "Standbys marked for re-seed after exhausting the "
+            "max_standby_lag retention budget")
+        self._m_disk_full_degradations = m.counter(
+            "repro_cluster_disk_full_degradations_total",
+            "Primary read-only degradations (a commit hit ENOSPC)")
+        self._m_disk_full_recoveries = m.counter(
+            "repro_cluster_disk_full_recoveries_total",
+            "Primary degradations healed (space freed, commit retried)")
+        self._m_retention_floor = m.gauge(
+            "repro_cluster_retention_floor",
+            "Lowest standby applied sequence holding retention "
+            "(0 = no standby holds the horizon)")
 
     # -- topology ------------------------------------------------------------
 
@@ -407,6 +462,16 @@ class ReplicaSet:
         health = self._health.get(node_id)
         if health is None:
             return
+        if is_disk_full_error(exc):
+            # Degradation, not failure: the backend still serves reads
+            # and heals in place.  Feeding the health ladder here would
+            # eventually fail over to a standby of the *same* full
+            # volume's history — strictly worse than waiting for the
+            # emergency prune / freed space.
+            self.observability.tracer.event(
+                "cluster.disk-full", backend=node_id, error=str(exc))
+            self._wake.set()
+            return
         if fatal is None:
             fatal = is_fatal_backend_error(exc)
         kind = failure_kind(exc)
@@ -440,6 +505,7 @@ class ReplicaSet:
             self._probe_primary(view.primary)
         for node in view.standbys:
             self._tail_and_probe(node)
+        self._retention_tick()
         self._refresh_gauges()
         primary = self._view.primary
         if primary is not None:
@@ -499,6 +565,143 @@ class ReplicaSet:
             self.observability.tracer.event(
                 "cluster.probe-failure", backend=node.id, error=str(exc),
                 failure_kind=kind)
+
+    # -- retention & disk pressure --------------------------------------------
+
+    def _retention_tick(self):
+        """One retention round on the primary: heal disk-full, re-seed
+        outran standbys, checkpoint on cadence, prune to the shared
+        horizon.
+
+        The horizon is ``min(checkpoint, standby floor, PITR window)``;
+        a standby contributes its applied sequence to the floor only
+        while it is inside the ``max_standby_lag`` budget — beyond it
+        the standby is marked for snapshot re-seed and retention stops
+        waiting for it (bounded disks beat unbounded patience).
+        """
+        view = self._view
+        primary = view.primary
+        if primary is None or primary.fenced:
+            return
+        self._heal_disk_full(primary)
+        if self._retention is None:
+            return
+        manager = self._retention
+        head = primary.database.commit_sequence
+        budget = manager.policy.max_standby_lag
+        floor = None
+        for node in view.standbys:
+            replica = node.replica
+            if (not getattr(replica, "needs_reseed", False)
+                    and budget is not None
+                    and head - node.applied_sequence > budget):
+                replica.needs_reseed = True
+                self._m_lag_budget_marks.inc()
+                self.observability.tracer.event(
+                    "cluster.lag-budget-exceeded", backend=node.id,
+                    applied=node.applied_sequence, head=head)
+            if getattr(replica, "needs_reseed", False):
+                self._reseed_standby(node, primary)
+            if not getattr(replica, "needs_reseed", False):
+                applied = node.applied_sequence
+                floor = applied if floor is None else min(floor, applied)
+        self._m_retention_floor.set(floor or 0)
+        try:
+            manager.maybe_checkpoint(primary.database, head=head)
+            manager.prune(standby_floor=floor)
+        except DiskFullError as exc:
+            # Checkpointing needs space too: free what the horizon
+            # already allows and retry on the next tick.
+            self.observability.tracer.event(
+                "cluster.disk-full", backend=primary.id, error=str(exc))
+            manager.emergency_prune(standby_floor=floor)
+        except Exception as exc:
+            # The primary died under the checkpoint (hot backup reads
+            # the live disk) — feed the health ladder and let the next
+            # monitor pass fail over.
+            self.report_backend_failure(
+                primary.id, exc, fatal=is_fatal_backend_error(exc))
+
+    def _heal_disk_full(self, primary):
+        """Drive the read-only degradation ladder on the primary.
+
+        On the first tick of an episode: emergency-prune the archive to
+        the safe floor (the one space we own that can be freed without
+        losing acked commits).  Every tick after: retry the stuck
+        commit; success flips the database writable again.
+        """
+        database = primary.database
+        if database.writable:
+            self._degrade_handled = False
+            return
+        if not self._degrade_handled:
+            self._degrade_handled = True
+            self._m_disk_full_degradations.inc()
+            self.observability.tracer.event(
+                "cluster.primary-degraded", backend=primary.id,
+                reason=database.degraded_reason)
+            self._emergency_prune()
+        try:
+            database.flush()
+        except DiskFullError:
+            return   # still full; next tick retries
+        except Exception as exc:
+            # A degraded primary can still die outright (disk crash
+            # mid-retry).  Hand that to the health ladder — the next
+            # monitor pass fails over — instead of blowing up tick().
+            self.report_backend_failure(
+                primary.id, exc,
+                fatal=is_fatal_backend_error(exc))
+            return
+        self._m_disk_full_recoveries.inc()
+        self.observability.tracer.event(
+            "cluster.primary-recovered", backend=primary.id,
+            sequence=database.commit_sequence)
+
+    def _emergency_prune(self):
+        """Prune everything the checkpoint + standby floor allow,
+        ignoring the PITR window; returns segments freed."""
+        if self._retention is None:
+            return 0
+        floor = None
+        for node in self._view.standbys:
+            if getattr(node.replica, "needs_reseed", False):
+                continue
+            applied = node.applied_sequence
+            floor = applied if floor is None else min(floor, applied)
+        return self._retention.emergency_prune(standby_floor=floor)
+
+    def _reseed_standby(self, node, primary):
+        """Snapshot re-seed one standby the retention horizon outran:
+        hot-backup the primary, restore it over the replica, resume
+        tailing from the backup's sequence.  Failure leaves
+        ``needs_reseed`` set and the next tick retries."""
+        replica = node.replica
+        if self.scratch_dir is not None:
+            backup_dir = os.path.join(self.scratch_dir,
+                                      "%s-reseed" % node.id)
+        else:
+            backup_dir = replica.path + ".reseed"
+        tracer = self.observability.tracer
+        with tracer.span("cluster.reseed", backend=node.id):
+            try:
+                if os.path.exists(backup_dir):
+                    shutil.rmtree(backup_dir)
+                primary.database.hot_backup(backup_dir)
+                with node.lock:
+                    result = replica.reseed_from(backup_dir)
+            except BaseException as exc:
+                self._m_reseed_failures.inc()
+                tracer.event("cluster.reseed-failed", backend=node.id,
+                             error=str(exc))
+                return False
+            finally:
+                shutil.rmtree(backup_dir, ignore_errors=True)
+        self._health[node.id] = self._new_health(node.id)
+        self._m_reseeds.inc()
+        tracer.event("cluster.reseeded", backend=node.id,
+                     sequence=result.sequence)
+        return True
 
     def _refresh_gauges(self):
         states = {HEALTHY: 0, SUSPECT: 0, DOWN: 0}
@@ -589,6 +792,13 @@ class ReplicaSet:
             # keeps the plain node id and its recorded history).
             self._adopt_hub("%s-e%d" % (elected.id, new_epoch),
                             promoted_db.observability)
+            if self.retention_policy is not None:
+                # The promoted archive is a fresh stream on a new
+                # timeline: it needs its own checkpoints before anything
+                # on it may be pruned (the old manager died with the
+                # fenced primary).
+                self._degrade_handled = False
+                self._attach_retention(promoted_db)
             elapsed = self.clock.now() - detected_at
             self._m_failovers.inc()
             self._m_failover_seconds.observe(elapsed)
@@ -801,6 +1011,9 @@ class ReplicaSet:
                 "applied_sequence": node.applied_sequence,
                 "lag": max(0, self._acked - node.applied_sequence),
             }
+            if node.role == "standby":
+                entry["needs_reseed"] = bool(
+                    getattr(node.replica, "needs_reseed", False))
             if health is not None:
                 entry.update(health.snapshot())
             backends.append(entry)
@@ -808,7 +1021,11 @@ class ReplicaSet:
             "epoch": view.epoch,
             "acked_sequence": self._acked,
             "primary": view.primary.id if view.primary else None,
+            "writable": (view.primary.database.writable
+                         if view.primary else False),
             "backends": backends,
+            "retention": (self._retention.stats.snapshot()
+                          if self._retention is not None else None),
             "last_failover": self.last_failover,
         }
 

@@ -38,6 +38,7 @@ from repro.core.session import Session
 from repro.obs import Observability
 from repro.query.engine import PathQueryEngine
 from repro.storage.catalog import Catalog
+from repro.storage.errors import DiskFullError, ReadOnlyError
 from repro.storage.indexmanager import DEFAULT_HANDLE_BUDGET, IndexManager
 from repro.storage.pages import ElementEntry
 from repro.storage.scrub import IndexQuarantinedError, IntegrityScrubber
@@ -68,6 +69,11 @@ class XmlDatabase:
         self._scrubber = None
         self._admission = None
         self._replication = None
+        self._retention = None
+        #: Non-None while the database is degraded read-only (disk full).
+        self._degraded_reason = None
+        self._disk_full_commit_failures = 0
+        self._disk_full_recoveries = 0
         #: Set by :meth:`restore` on databases rebuilt from a backup.
         self.restore_result = None
         self.observability = Observability()
@@ -163,9 +169,54 @@ class XmlDatabase:
         staged first so the commit group ``pool.flush_all()`` triggers
         (via ``disk.sync()``) captures trees and their catalog entries
         together.
+
+        A commit that hits ``ENOSPC`` raises
+        :class:`~repro.storage.errors.DiskFullError` and flips the
+        database **degraded read-only**: staged writes stay pending on
+        the disk, reads keep answering, and subsequent writes raise
+        :class:`~repro.storage.errors.ReadOnlyError`.  The next
+        successful flush — writes retry it automatically — clears the
+        degradation.
         """
-        self._indexes.flush()
-        self._context.pool.flush_all()
+        try:
+            self._indexes.flush()
+            self._context.pool.flush_all()
+        except DiskFullError as exc:
+            self._disk_full_commit_failures += 1
+            if self._degraded_reason is None:
+                self._degraded_reason = str(exc)
+                self.observability.tracer.event(
+                    "database.read-only", reason=str(exc))
+            raise
+        if self._degraded_reason is not None:
+            # The stuck commit went through: space came back.
+            self._degraded_reason = None
+            self._disk_full_recoveries += 1
+            self.observability.tracer.event("database.writable-again")
+
+    @property
+    def writable(self):
+        """False while degraded read-only (a commit hit ``ENOSPC``)."""
+        return self._degraded_reason is None
+
+    @property
+    def degraded_reason(self):
+        """Why the database is read-only (None when writable)."""
+        return self._degraded_reason
+
+    def _require_writable(self):
+        """Gate a write while degraded: retry the stuck commit first
+        (space may have been freed — that is the auto-recovery path),
+        and raise :class:`~repro.storage.errors.ReadOnlyError` if the
+        volume is still full."""
+        if self._degraded_reason is None:
+            return
+        try:
+            self.flush()
+        except DiskFullError as exc:
+            raise ReadOnlyError(
+                "database is read-only (disk full): %s"
+                % self._degraded_reason) from exc
 
     def close(self):
         for session in list(self._sessions):
@@ -250,6 +301,7 @@ class XmlDatabase:
         Elements are inserted into the per-tag XR-trees one by one —
         dynamic maintenance, not a rebuild.
         """
+        self._require_writable()
         document = (parse_document(source) if isinstance(source, str)
                     else source)
         doc_id = len(self._registry["documents"]) + 1
@@ -289,6 +341,7 @@ class XmlDatabase:
         summaries and directories re-balance as they go.  The document's
         registry slot is tombstoned (ids are never reused).
         """
+        self._require_writable()
         documents = self._registry["documents"]
         if not 1 <= doc_id <= len(documents):
             raise XmlDatabaseError("unknown document id %d" % doc_id)
@@ -441,6 +494,23 @@ class XmlDatabase:
     def replication(self):
         return self._replication
 
+    def attach_retention(self, manager):
+        """Bind a :class:`~repro.storage.retention.CheckpointManager`'s
+        counters into this database's metrics registry; returns it.
+
+        The manager itself stays externally driven (the cluster's tick,
+        or the operator): this only makes its checkpoints/prunes and the
+        archive replay window visible in :meth:`metrics_text` and under
+        ``stats()["retention"]``.
+        """
+        self._retention = manager
+        manager.bind_metrics(self.observability.metrics)
+        return manager
+
+    @property
+    def retention(self):
+        return self._retention
+
     @property
     def archive(self):
         """The disk's commit-group archive (``durability="archive"``
@@ -569,6 +639,15 @@ class XmlDatabase:
                 "failovers": rep.failovers,
                 "last_applied_sequence": rep.last_applied_sequence,
             }
+        retention = None
+        if self._retention is not None:
+            retention = self._retention.stats.snapshot()
+        disk_full = {
+            "degraded": self._degraded_reason is not None,
+            "reason": self._degraded_reason,
+            "commit_failures": self._disk_full_commit_failures,
+            "recoveries": self._disk_full_recoveries,
+        }
         snap = self.observability.snapshot()
         queries = {
             "total": snap["repro_queries_total"],
@@ -584,6 +663,8 @@ class XmlDatabase:
             "admission": admission,
             "recovery": recovery,
             "replication": replication,
+            "retention": retention,
+            "disk_full": disk_full,
             "scrub": scrub,
             "queries": queries,
         }
@@ -627,6 +708,14 @@ class XmlDatabase:
         gauge("repro_sessions_active", "Open snapshot sessions")
         gauge("repro_snapshot_lag",
               "Commits the oldest pinned snapshot trails the head by")
+        gauge("repro_disk_full_degraded",
+              "1 while the database is read-only because a commit hit "
+              "ENOSPC")
+        gauge("repro_disk_full_commit_failures",
+              "Commits that failed with ENOSPC (lifetime)")
+        gauge("repro_disk_full_recoveries",
+              "Read-only degradations cleared by a later successful "
+              "commit")
 
         def refresh(_registry):
             pool = self._context.pool.stats
@@ -669,6 +758,12 @@ class XmlDatabase:
                 if oldest is not None:
                     lag = disk.commit_sequence - oldest
             gauges["repro_snapshot_lag"].set(lag)
+            gauges["repro_disk_full_degraded"].set(
+                0 if self._degraded_reason is None else 1)
+            gauges["repro_disk_full_commit_failures"].set(
+                self._disk_full_commit_failures)
+            gauges["repro_disk_full_recoveries"].set(
+                self._disk_full_recoveries)
 
         m.register_collector(refresh, owns=tuple(sorted(gauges)),
                              name="database")

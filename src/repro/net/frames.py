@@ -67,9 +67,12 @@ RESP_LATEST = 3
 RESP_SEGMENT = 4   # payload = raw segment bytes
 RESP_MISSING = 5   # the archive has no segment at that sequence
 RESP_ERROR = 6     # payload = utf-8 reason (e.g. server at capacity)
+REQ_OLDEST = 7     # -> RESP_OLDEST (sequence = retention floor, 0 = empty)
+RESP_OLDEST = 8
 
 _FRAME_TYPES = frozenset((REQ_LATEST, REQ_FETCH, RESP_LATEST,
-                          RESP_SEGMENT, RESP_MISSING, RESP_ERROR))
+                          RESP_SEGMENT, RESP_MISSING, RESP_ERROR,
+                          REQ_OLDEST, RESP_OLDEST))
 
 _PREFIX = struct.Struct("<I")
 _HEADER = struct.Struct("<4sBBQ")   # magic, version, type, sequence

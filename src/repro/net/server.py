@@ -1,7 +1,8 @@
 """SegmentServer: serve a primary's commit-group archive over TCP.
 
-The server side of the socket transport.  It answers exactly two
-questions — "what is the head sequence?" (:data:`~repro.net.frames.REQ_LATEST`)
+The server side of the socket transport.  It answers exactly three
+questions — "what is the head sequence?" (:data:`~repro.net.frames.REQ_LATEST`),
+"what is the retention floor?" (:data:`~repro.net.frames.REQ_OLDEST`)
 and "give me segment N" (:data:`~repro.net.frames.REQ_FETCH`) — over the
 length-prefixed CRC frames of :mod:`repro.net.frames`, reading straight
 from the archive directory.  Segments are immutable once written, so the
@@ -40,9 +41,11 @@ from repro.net.frames import (
     DEFAULT_MAX_FRAME_BYTES,
     REQ_FETCH,
     REQ_LATEST,
+    REQ_OLDEST,
     RESP_ERROR,
     RESP_LATEST,
     RESP_MISSING,
+    RESP_OLDEST,
     RESP_SEGMENT,
     FrameRejected,
     read_frame,
@@ -65,6 +68,7 @@ class ServerStats:
         self.rejected_connections = 0   # over max_connections, told "busy"
         self.requests = 0
         self.latest_requests = 0
+        self.oldest_requests = 0
         self.fetch_requests = 0
         self.missing_responses = 0
         self.bad_frames = 0             # undecodable/mismatched requests
@@ -246,6 +250,14 @@ class SegmentServer:
                     self.stats.latest_requests += 1
                     head = self._archive.latest_sequence() or 0
                     self._send(sock, RESP_LATEST, head, version=frame.version)
+                elif frame.type == REQ_OLDEST:
+                    # The retention floor: what lets a standby tell a
+                    # pruned segment (floor above the gap — re-seed)
+                    # from one lost in transport (floor below — stall).
+                    self.stats.oldest_requests += 1
+                    oldest = self._archive.oldest_sequence() or 0
+                    self._send(sock, RESP_OLDEST, oldest,
+                               version=frame.version)
                 elif frame.type == REQ_FETCH:
                     self.stats.fetch_requests += 1
                     blob = self._archive.read_raw(frame.sequence)
@@ -294,6 +306,10 @@ class SegmentServer:
              "Idle keep-alive connections reaped"),
             ("repro_net_server_bad_frames", "bad_frames",
              "Undecodable or mistyped request frames dropped"),
+            ("repro_net_server_missing_responses", "missing_responses",
+             "Fetches answered RESP_MISSING (no such segment retained)"),
+            ("repro_net_server_oldest_requests", "oldest_requests",
+             "Retention-floor (REQ_OLDEST) requests served"),
             ("repro_net_server_bytes_sent", "bytes_sent",
              "Segment payload bytes sent"),
         ), name="segment-server")

@@ -50,9 +50,11 @@ from repro.net.frames import (
     DEFAULT_MAX_FRAME_BYTES,
     REQ_FETCH,
     REQ_LATEST,
+    REQ_OLDEST,
     RESP_ERROR,
     RESP_LATEST,
     RESP_MISSING,
+    RESP_OLDEST,
     RESP_SEGMENT,
     VERSION,
     read_frame,
@@ -155,6 +157,11 @@ class SocketShipper(LogShipper):
     def latest_sequence(self):
         """Poll the server's head sequence (None for an empty stream)."""
         frame = self._request(REQ_LATEST, 0, expect=RESP_LATEST)
+        return frame.sequence or None
+
+    def oldest_sequence(self):
+        """Poll the server's retention floor (None for an empty stream)."""
+        frame = self._request(REQ_OLDEST, 0, expect=RESP_OLDEST)
         return frame.sequence or None
 
     def fetch(self, sequence):
@@ -263,9 +270,12 @@ class SocketShipper(LogShipper):
             raise FrameRejected(
                 "expected frame type %s, got %d"
                 % ("/".join(map(str, expect)), frame.type), cause="type")
-        if frame.type != RESP_LATEST and frame.sequence != sequence:
+        if (frame.type not in (RESP_LATEST, RESP_OLDEST)
+                and frame.sequence != sequence):
             # Duplicated or reordered delivery: this frame answers some
             # other request.  Reject, resync (reconnect), re-fetch.
+            # (RESP_LATEST/RESP_OLDEST are exempt: their sequence field
+            # carries the answer — head / retention floor — not an echo.)
             raise FrameRejected(
                 "requested sequence %d but frame answers %d "
                 "(duplicate or reordered delivery)"

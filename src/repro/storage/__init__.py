@@ -22,14 +22,17 @@ from repro.storage.errors import (
     BackupError,
     BufferPoolError,
     ChecksumError,
+    DiskFullError,
     DivergenceError,
     PageDecodeError,
     PageFullError,
     PageNotFoundError,
+    ReadOnlyError,
     RecoveryError,
     ReplicationError,
     StorageError,
     TransientIOError,
+    is_disk_full_error,
 )
 from repro.storage.faults import CrashPoint, FaultInjectingDisk
 from repro.storage.indexmanager import (
@@ -44,6 +47,11 @@ from repro.storage.backup import (
     restore,
 )
 from repro.storage.journal import Archive, Journal
+from repro.storage.retention import (
+    CheckpointManager,
+    RetentionPolicy,
+    RetentionStats,
+)
 from repro.storage.replication import (
     LocalDirShipper,
     LogShipper,

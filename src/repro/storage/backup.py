@@ -279,10 +279,29 @@ def _cmd_restore(args):
     return 0
 
 
+def _print_replay_window(archive):
+    oldest, newest, count, size = archive.replay_window()
+    if count == 0:
+        print("replay window: empty (no segments retained)")
+        return oldest, newest
+    print("replay window: sequences %d..%d (%d segment(s), %d bytes)"
+          % (oldest, newest, count, size))
+    return oldest, newest
+
+
 def _cmd_info(args):
     manifest = BackupManifest.load(args.backup)
     for key, value in sorted(asdict(manifest).items()):
         print("%-14s %s" % (key, value))
+    if args.archive is not None:
+        archive = Archive(args.archive, manifest.page_size)
+        oldest, _newest = _print_replay_window(archive)
+        if oldest is not None and oldest > manifest.sequence + 1:
+            # The segments between the snapshot and the retention floor
+            # are gone: this backup can no longer be rolled forward.
+            print("WARNING: archive starts at %d but the backup stops "
+                  "at %d — PITR from this backup is impossible"
+                  % (oldest, manifest.sequence))
     return 0
 
 
@@ -293,6 +312,7 @@ def _cmd_segments(args):
         status = "ok" if archive.read(seq) is not None else "CORRUPT"
         print("%s  %s" % (segment_name(seq), status))
     print("%d segment(s)" % len(sequences))
+    _print_replay_window(archive)
     return 0
 
 
@@ -321,6 +341,9 @@ def main(argv=None):
 
     p = sub.add_parser("info", help="print a backup's manifest")
     p.add_argument("backup", help="backup directory")
+    p.add_argument("--archive", default=None,
+                   help="also report this archive's replay window and "
+                        "whether PITR from the backup is still possible")
     p.set_defaults(fn=_cmd_info)
 
     p = sub.add_parser("segments", help="list an archive's segments")

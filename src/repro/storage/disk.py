@@ -16,6 +16,7 @@ observable for the evaluation is the *number* of physical page transfers,
 which both implementations count exactly.
 """
 
+import errno
 import os
 import struct
 import threading
@@ -23,6 +24,7 @@ import zlib
 from dataclasses import dataclass, field
 
 from repro.storage.errors import (
+    DiskFullError,
     PageNotFoundError,
     RecoveryError,
     StorageError,
@@ -546,14 +548,29 @@ class FileDisk(SimulatedDisk):
                     self._archive.append(self._commit_seq, records)
                 else:
                     self._journal.commit(self._commit_seq, records)
-            except TransientIOError:
-                # Nothing became durable (the fault fires before any byte
-                # is written), so the sequence number must not be consumed
-                # — a retried sync() reuses it, keeping the archive
-                # gap-free.
+            except (TransientIOError, DiskFullError):
+                # Nothing became durable (a transient fault fires before
+                # any byte is written; the journal/archive cleans up its
+                # partial file on ENOSPC), so the sequence number must
+                # not be consumed — a retried sync() reuses it, keeping
+                # the archive gap-free.  Staged writes stay in _pending
+                # and the database remains readable throughout.
                 self._commit_seq -= 1
                 raise
-            self._apply(records, preimage_upto=self._commit_seq - 1)
+            try:
+                self._apply(records, preimage_upto=self._commit_seq - 1)
+            except OSError as exc:
+                if exc.errno != errno.ENOSPC:
+                    raise
+                # The group IS durable (journaled/archived) — a standby
+                # may already have shipped it — so the sequence stays
+                # consumed; rewriting it with different content would
+                # fork history.  A retried sync() re-stages the same
+                # pages under the next sequence and the idempotent apply
+                # converges the data file.
+                raise DiskFullError(
+                    "applying commit group %d hit ENOSPC: %s"
+                    % (self._commit_seq, exc)) from exc
         if self._journal is not None:
             self._journal.clear()
         self.durability_stats.commits += 1

@@ -50,6 +50,45 @@ class TransientIOError(StorageError):
     """
 
 
+class DiskFullError(StorageError):
+    """The volume ran out of space (``ENOSPC``) during a commit.
+
+    Raised instead of a raw :class:`OSError` by the journal/archive
+    commit path after cleaning up any partial on-disk state: nothing of
+    the failed group became durable, the disk's in-memory staging is
+    intact, and the commit may simply be retried once space is freed.
+    Not a :class:`TransientIOError` — backing off and retrying blindly
+    cannot help until an operator (or the retention subsystem) frees
+    space — but also never fatal: the database stays readable.
+    """
+
+
+class ReadOnlyError(StorageError):
+    """A write was rejected because the database degraded to read-only
+    (disk full).  Reads keep working; writes resume automatically once
+    a commit succeeds again (space was freed)."""
+
+
+def is_disk_full_error(exc):
+    """Is ``exc`` — or anything in its cause chain — a disk-full fault?
+
+    Sees through wrapping layers (``ClusterWriteError`` et al. chain
+    with ``raise ... from``), and recognizes a raw ``OSError`` carrying
+    ``errno.ENOSPC`` that escaped before being typed.
+    """
+    import errno
+
+    seen = set()
+    while exc is not None and id(exc) not in seen:
+        seen.add(id(exc))
+        if isinstance(exc, (DiskFullError, ReadOnlyError)):
+            return True
+        if isinstance(exc, OSError) and exc.errno == errno.ENOSPC:
+            return True
+        exc = exc.__cause__ or exc.__context__
+    return False
+
+
 class BackupError(StorageError):
     """Hot backup or restore could not produce a consistent snapshot."""
 

@@ -15,7 +15,13 @@ SimulatedDisk` and exposes the same page interface while letting tests
   retryable :class:`~repro.storage.errors.TransientIOError` for the next
   ``n`` operations of kind ``op`` and then succeed — the deterministic
   test surface for retry/backoff paths (replication apply, scrubber
-  retries).  A transient failure does *not* kill the wrapper.
+  retries).  A transient failure does *not* kill the wrapper;
+* **run out of space**: ``fail_with_disk_full(n, op)`` injects
+  errno-accurate ``OSError(ENOSPC)`` for the next ``n`` operations
+  (single-shot), while ``fill_disk()`` / ``free_space()`` model a volume
+  that *stays* at capacity until space is reclaimed — the deterministic
+  surface behind :class:`~repro.storage.errors.DiskFullError` and the
+  read-only degradation ladder (``docs/STORAGE.md``).
 
 A kill raises :class:`CrashPoint` and leaves the wrapper *dead*: every
 subsequent operation raises again, so ``finally`` blocks and context
@@ -24,6 +30,9 @@ supposed to have vanished.  ``CrashPoint`` deliberately does **not**
 subclass :class:`~repro.storage.errors.StorageError` — error-collecting
 code (e.g. ``IndexManager.flush``) must never swallow a simulated kill.
 """
+
+import errno
+import os
 
 from repro.storage.disk import FileDisk
 from repro.storage.errors import TransientIOError
@@ -60,6 +69,9 @@ class FaultInjectingDisk:
         self.op_counts = {op: 0 for op in LOGICAL_OPS + (PHYSICAL_OP,)}
         self._transient = {}  # op -> remaining failures to inject
         self.transient_injected = 0
+        self._enospc = {}     # op -> remaining single-shot ENOSPC faults
+        self._disk_full = False   # sticky: full until free_space()
+        self.enospc_injected = 0
         if isinstance(inner, FileDisk):
             inner.fault_hook = self._on_physical_write
 
@@ -81,6 +93,59 @@ class FaultInjectingDisk:
             self._transient[op] = n
         else:
             self._transient.pop(op, None)
+
+    def fail_with_disk_full(self, n=1, op=PHYSICAL_OP):
+        """Arm ``n`` single-shot ENOSPC faults for the next ops of ``op``.
+
+        Each affected operation raises an errno-accurate
+        ``OSError(ENOSPC)`` *instead of* executing — no partial effects —
+        and the (n+1)-th succeeds, modelling a volume that momentarily
+        brushed its capacity (another writer freed space, a quota was
+        raised).  Re-arming replaces the pending count.
+        """
+        if op not in LOGICAL_OPS + (PHYSICAL_OP,):
+            raise ValueError("unknown fail op %r" % op)
+        if n < 0:
+            raise ValueError("fail_with_disk_full needs n >= 0")
+        if n:
+            self._enospc[op] = n
+        else:
+            self._enospc.pop(op, None)
+
+    def fill_disk(self):
+        """Sticky disk-full: every physical write raises ``ENOSPC`` until
+        :meth:`free_space` clears it — the "volume stays at capacity"
+        mode the read-only degradation ladder is tested against."""
+        self._disk_full = True
+
+    def free_space(self):
+        """End a sticky :meth:`fill_disk` (and drop any pending
+        single-shot ENOSPC faults): subsequent writes succeed."""
+        self._disk_full = False
+        self._enospc.clear()
+
+    @property
+    def disk_full(self):
+        """Is the sticky disk-full mode currently armed?"""
+        return self._disk_full
+
+    def _raise_enospc(self, op):
+        self.enospc_injected += 1
+        raise OSError(
+            errno.ENOSPC,
+            "%s (injected at %s #%d)"
+            % (os.strerror(errno.ENOSPC), op, self.op_counts[op]))
+
+    def _maybe_fail_enospc(self, op):
+        if self._disk_full and op == PHYSICAL_OP:
+            self._raise_enospc(op)
+        remaining = self._enospc.get(op)
+        if remaining:
+            if remaining == 1:
+                del self._enospc[op]
+            else:
+                self._enospc[op] = remaining - 1
+            self._raise_enospc(op)
 
     def _maybe_fail_transiently(self, op):
         remaining = self._transient.get(op)
@@ -106,6 +171,7 @@ class FaultInjectingDisk:
                 "killed at %s #%d" % (op, self.op_counts[op])
             )
         self._maybe_fail_transiently(op)
+        self._maybe_fail_enospc(op)
 
     def _on_physical_write(self, kind, page_id, data):
         """FileDisk hook: called before every physical page write.
@@ -125,6 +191,7 @@ class FaultInjectingDisk:
                 data = bytes(data)[: self.torn_bytes]
             return data, True
         self._maybe_fail_transiently(PHYSICAL_OP)
+        self._maybe_fail_enospc(PHYSICAL_OP)
         return data, False
 
     def crash_now(self):

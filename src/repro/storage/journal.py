@@ -40,10 +40,13 @@ replicas consume (:mod:`repro.storage.backup`,
 :mod:`repro.storage.replication`).
 """
 
+import errno
 import os
 import re
 import struct
 import zlib
+
+from repro.storage.errors import DiskFullError
 
 _GROUP_MAGIC = b"XRJL"
 _COMMIT_MAGIC = b"XRJC"
@@ -182,12 +185,28 @@ class Journal:
         Writes the group and fsyncs the journal file; the caller applies the
         records to the data file afterwards and then calls :meth:`clear`.
         """
-        body, crash, written = encode_group(sequence, records,
-                                            self.page_size, self._filter)
-        self.pages_journaled += written
-        os.pwrite(self._fd, body, 0)
-        os.ftruncate(self._fd, len(body))
-        os.fsync(self._fd)
+        try:
+            body, crash, written = encode_group(sequence, records,
+                                                self.page_size, self._filter)
+            self.pages_journaled += written
+            os.pwrite(self._fd, body, 0)
+            os.ftruncate(self._fd, len(body))
+            os.fsync(self._fd)
+        except OSError as exc:
+            if exc.errno != errno.ENOSPC:
+                raise
+            # Out of space mid-journal: whatever prefix landed is torn
+            # (no valid footer can have been fsynced), so truncating it
+            # away restores the exact pre-commit on-disk state.  Nothing
+            # durable was lost — the caller keeps its staged writes and
+            # may retry once space is freed.
+            try:
+                os.ftruncate(self._fd, 0)
+            except OSError:
+                pass
+            raise DiskFullError(
+                "journal commit of group %d hit ENOSPC: %s"
+                % (sequence, exc)) from exc
         if self._needs_dir_sync:
             fsync_directory(os.path.dirname(os.path.abspath(self.path)))
             self.dir_fsyncs += 1
@@ -267,18 +286,35 @@ class Archive:
     # -- writing ---------------------------------------------------------------
 
     def append(self, sequence, records):
-        """Write one commit group as the segment for ``sequence``."""
-        body, crash, written = encode_group(sequence, records,
-                                            self.page_size, self._filter)
-        self.pages_archived += written
+        """Write one commit group as the segment for ``sequence``.
+
+        Out of space (``ENOSPC``) raises a typed
+        :class:`~repro.storage.errors.DiskFullError` after unlinking the
+        partial segment file, so a failed commit never leaves a torn
+        segment for tailing standbys or recovery to trip over.
+        """
         path = os.path.join(self.directory, segment_name(sequence))
-        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
         try:
-            os.pwrite(fd, body, 0)
-            os.fsync(fd)
-        finally:
-            os.close(fd)
-        fsync_directory(self.directory)
+            body, crash, written = encode_group(sequence, records,
+                                                self.page_size, self._filter)
+            self.pages_archived += written
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+            try:
+                os.pwrite(fd, body, 0)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            fsync_directory(self.directory)
+        except OSError as exc:
+            if exc.errno != errno.ENOSPC:
+                raise
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            raise DiskFullError(
+                "archiving segment %d hit ENOSPC: %s"
+                % (sequence, exc)) from exc
         self.dir_fsyncs += 1
         self.commits += 1
         if crash:
@@ -332,23 +368,65 @@ class Archive:
         sequences = self.sequences()
         return sequences[-1] if sequences else None
 
-    def remove(self, sequence):
-        """Delete one segment (recovery discards torn trailing ones)."""
+    def oldest_sequence(self):
+        """Lowest retained sequence, or None for an empty archive.
+
+        The floor of the replay window: anything below it was pruned (or
+        never existed) and cannot be shipped or replayed from here.
+        """
+        sequences = self.sequences()
+        return sequences[0] if sequences else None
+
+    def bytes_on_disk(self):
+        """Total size of every retained segment file, in bytes."""
+        total = 0
+        for seq in self.sequences():
+            try:
+                total += os.path.getsize(self.segment_path(seq))
+            except OSError:
+                pass  # pruned concurrently
+        return total
+
+    def replay_window(self):
+        """The retention state at a glance: ``(oldest, newest, count,
+        bytes)`` — both sequences None for an empty archive."""
+        sequences = self.sequences()
+        if not sequences:
+            return None, None, 0, 0
+        return (sequences[0], sequences[-1], len(sequences),
+                self.bytes_on_disk())
+
+    def remove(self, sequence, sync_directory=True):
+        """Delete one segment (recovery discards torn trailing ones).
+
+        The unlink is made durable with a directory fsync (counted in
+        :attr:`dir_fsyncs`), matching the hygiene of :meth:`append` — a
+        crash after pruning must not resurrect directory entries the
+        retention horizon already declared gone.  ``sync_directory=False``
+        lets a batch caller (:meth:`prune_upto`) pay one fsync for many
+        unlinks.
+        """
         try:
             os.remove(self.segment_path(sequence))
         except FileNotFoundError:
-            pass
+            return
+        if sync_directory:
+            fsync_directory(self.directory)
+            self.dir_fsyncs += 1
 
     def prune_upto(self, sequence):
         """Drop every segment with a sequence <= ``sequence`` (retention).
 
         Returns the number of segments removed.  Pruning shortens the
         replay window: restores then need a base backup at or beyond the
-        prune point.
+        prune point.  One directory fsync covers the whole batch.
         """
         removed = 0
         for seq in self.sequences():
             if seq <= sequence:
-                self.remove(seq)
+                self.remove(seq, sync_directory=False)
                 removed += 1
+        if removed:
+            fsync_directory(self.directory)
+            self.dir_fsyncs += 1
         return removed

@@ -86,6 +86,19 @@ class LogShipper:
         """Highest sequence available, or None for an empty stream."""
         raise NotImplementedError
 
+    def oldest_sequence(self):
+        """Lowest sequence still available, or None for an empty stream.
+
+        The source's retention floor: a fetch below it returning None
+        means *pruned at the source* (the standby must re-seed from a
+        snapshot), while a missing segment at or above it means the
+        stream itself has a hole (divergence — the standby must stall).
+        Transports predating this call may leave it unimplemented; the
+        replica then conservatively treats every missing-below-head
+        segment as lost.
+        """
+        raise NotImplementedError
+
     def fetch(self, sequence):
         """Raw bytes of one segment, or None if it does not exist."""
         raise NotImplementedError
@@ -113,6 +126,9 @@ class LocalDirShipper(LogShipper):
     def latest_sequence(self):
         return self._archive.latest_sequence()
 
+    def oldest_sequence(self):
+        return self._archive.oldest_sequence()
+
     def fetch(self, sequence):
         return self._archive.read_raw(sequence)
 
@@ -133,6 +149,8 @@ class ReplicationStats:
     torn_segments_seen: int = 0      # torn head segments skipped (re-polled)
     divergence_refusals: int = 0     # promote() calls refused
     failovers: int = 0               # successful promotions
+    pruned_at_source: int = 0        # fetches answered "pruned" (re-seed)
+    reseeds: int = 0                 # snapshot re-seeds completed
     last_applied_sequence: int = 0
     shipper_head_sequence: int = 0   # head seen at the last poll
 
@@ -187,7 +205,12 @@ class StandbyReplica:
             # durability="none": the standby never commits through the
             # logical write path; groups arrive pre-journaled.
             disk_factory = lambda p, ps: FileDisk(p, ps, durability="none")
+        self._disk_factory = disk_factory
         self._disk = disk_factory(path, page_size)
+        #: Set when the source pruned segments this replica still needs:
+        #: tailing cannot continue, but unlike divergence the cure is
+        #: known — re-seed from a fresh snapshot (:meth:`reseed_from`).
+        self.needs_reseed = False
         self._db = None            # lazily opened read-only query engine
         self.stats.last_applied_sequence = self._disk.commit_sequence
         if observability is not None:
@@ -248,6 +271,8 @@ class StandbyReplica:
         exponential backoff.
         """
         self._require_standby()
+        if self.needs_reseed:
+            return 0   # the stream below head is gone; only a re-seed helps
         applied = 0
         with self._tail_lock:
             self._require_standby()   # promotion may have won the lock
@@ -278,8 +303,23 @@ class StandbyReplica:
         blob = self._with_retry("ship",
                                 lambda: self.shipper.fetch(sequence))
         if blob is None:
-            self._stall("segment %d is missing below head %d "
-                        "(pruned or lost in transport)" % (sequence, head))
+            if self._missing_because_pruned(sequence):
+                # Raft-InstallSnapshot situation: the source's retention
+                # ran past this replica.  The segments cannot be shipped
+                # ever again, but nothing diverged — a snapshot re-seed
+                # (reseed_from) resumes tailing from a newer base.
+                self.stats.pruned_at_source += 1
+                self.needs_reseed = True
+                self._stall(
+                    "segment %d was pruned at the source (oldest "
+                    "retained is newer); snapshot re-seed required"
+                    % sequence)
+                self._tracer.event("replica.pruned-at-source",
+                                   sequence=sequence, head=head)
+            else:
+                self._stall("segment %d is missing below head %d "
+                            "(lost in transport or corrupt at the source)"
+                            % (sequence, head))
             return False
         self.stats.segments_shipped += 1
         self.stats.bytes_shipped += len(blob)
@@ -309,6 +349,30 @@ class StandbyReplica:
         self._tracer.event("replica.apply", sequence=seq,
                            pages=len(records))
         return True
+
+    def _missing_because_pruned(self, sequence):
+        """Was a missing-below-head segment pruned at the source?
+
+        True when the source's oldest retained sequence is *above* the
+        one we asked for (retention removed it — every lower segment is
+        gone too, by construction of ``prune_upto``).  A hole at or
+        above the floor is genuine loss/corruption and must keep
+        stalling: re-seeding over it would paper over divergence.
+        Transports without :meth:`LogShipper.oldest_sequence` (or whose
+        probe itself fails) answer conservatively: not pruned.
+        """
+        probe = getattr(self.shipper, "oldest_sequence", None)
+        if probe is None:
+            return False
+        try:
+            oldest = self._with_retry("poll", probe)
+        except (NotImplementedError, ReplicationError):
+            return False
+        if oldest is None:
+            # The source archive is empty but its head was non-zero a
+            # moment ago: everything was pruned out from under us.
+            return True
+        return oldest > sequence
 
     def _stall(self, reason):
         self.stall_reason = reason
@@ -404,6 +468,46 @@ class StandbyReplica:
         if self._db is not None:
             self._db.close()
             self._db = None
+
+    # -- snapshot re-seed ----------------------------------------------------
+
+    def reseed_from(self, backup_dir):
+        """Tear down and re-bootstrap this replica from a hot backup.
+
+        The recovery move for :attr:`needs_reseed` — the source pruned
+        segments this replica still needed, so tailing can never catch
+        up again.  Restores ``backup_dir`` over the replica's file (the
+        backup must be of the *current* primary timeline), reopens the
+        disk through the original ``disk_factory``, and resumes tailing
+        from the backup's sequence.  Returns the
+        :class:`~repro.storage.backup.RestoreResult`.  Serialized with
+        tailing/promotion through the tail lock, so no segment is ever
+        applied concurrently with the wipe.
+        """
+        from repro.storage.backup import restore
+
+        self._require_standby()
+        self._stop_tailing.set()
+        with self._tail_lock, \
+                self._tracer.span("replica.reseed", path=self.path):
+            self._require_standby()
+            self._close_query_db()
+            try:
+                if not getattr(self._disk, "closed", True):
+                    self._disk.close()
+            except BaseException:
+                abort = getattr(self._disk, "abort", None)
+                if abort is not None:
+                    abort()
+            result = restore(backup_dir, self.path)
+            self._disk = self._disk_factory(self.path, self.page_size)
+            self.stats.last_applied_sequence = result.sequence
+            self.stats.reseeds += 1
+            self.needs_reseed = False
+            self.stall_reason = None
+            self._tracer.event("replica.reseeded",
+                               sequence=result.sequence)
+            return result
 
     # -- failover ------------------------------------------------------------
 
@@ -503,6 +607,10 @@ class StandbyReplica:
              "Promotions refused on sequence gap or checksum mismatch"),
             ("repro_replication_failovers",
              "Successful standby promotions"),
+            ("repro_replication_pruned_at_source",
+             "Fetches answered by a source that pruned the segment"),
+            ("repro_replication_reseeds",
+             "Snapshot re-seeds completed after retention outran tailing"),
             ("repro_replication_last_applied_sequence",
              "Commit sequence of the last applied group"),
         ):
@@ -524,6 +632,9 @@ class StandbyReplica:
             gauges["repro_replication_divergence_refusals"].set(
                 s.divergence_refusals)
             gauges["repro_replication_failovers"].set(s.failovers)
+            gauges["repro_replication_pruned_at_source"].set(
+                s.pruned_at_source)
+            gauges["repro_replication_reseeds"].set(s.reseeds)
             gauges["repro_replication_last_applied_sequence"].set(
                 s.last_applied_sequence)
 

@@ -157,13 +157,16 @@ def test_database_stats_covers_every_subsystem():
         db.scrub()
         stats = db.stats()
         assert set(stats) == {"buffer", "indexes", "admission", "recovery",
-                              "replication", "scrub", "queries"}
+                              "replication", "retention", "disk_full",
+                              "scrub", "queries"}
         assert stats["buffer"]["requests"] == (stats["buffer"]["hits"]
                                                + stats["buffer"]["misses"])
         assert stats["indexes"]["creations"] == 3
         assert stats["admission"] is None    # none attached
         assert stats["recovery"] is None     # in-memory database
         assert stats["replication"] is None  # no replica attached
+        assert stats["retention"] is None    # no retention manager attached
+        assert stats["disk_full"]["degraded"] is False
         assert stats["scrub"]["entries_checked"] > 0
         assert stats["queries"]["total"] == 1
         assert stats["queries"]["rows"] == 2

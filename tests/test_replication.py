@@ -133,6 +133,91 @@ class TestTailing:
         assert replica.documents() == [(1, "a"), (2, "b")]
         replica.close()
 
+    def test_torn_head_repolls_do_not_stall_or_mark_reseed(self,
+                                                           tmp_path):
+        """The re-poll path: a torn *head* is re-examined on every
+        catch_up — never a stall, never a re-seed — because only the
+        primary's restart can resolve it (rewrite or truncate)."""
+        path, archive_dir, backup, db = make_primary(tmp_path)
+        db.add_document(XML_B, name="b")
+        db.flush()
+        db.close()
+        archive = Archive(archive_dir, PAGE_SIZE)
+        head = archive.sequences()[-1]
+        seg = archive.segment_path(head)
+        pristine = open(seg, "rb").read()
+        open(seg, "wb").write(pristine[:40])
+
+        replica = make_standby(tmp_path, archive_dir, backup)
+        for attempt in range(1, 4):
+            assert replica.catch_up() == 0
+            assert replica.stats.torn_segments_seen == attempt
+            assert replica.stall_reason is None
+            assert not replica.needs_reseed
+        # "Restarted primary" resolves it by truncating the torn commit.
+        archive.remove(head)
+        assert replica.catch_up() == 0      # nothing to apply — and no stall
+        assert replica.stall_reason is None
+        replica.close()
+
+    def test_pruned_at_source_marks_reseed_and_reseed_recovers(
+            self, tmp_path):
+        path, archive_dir, backup, db = make_primary(tmp_path)
+        for index in range(4):
+            db.add_document(XML_B, name="b%d" % index)
+            db.flush()
+        # Retention outruns the standby: everything below the head gone.
+        archive = Archive(archive_dir, PAGE_SIZE)
+        head = archive.sequences()[-1]
+        archive.prune_upto(head - 1)
+
+        replica = make_standby(tmp_path, archive_dir, backup)
+        assert replica.catch_up() == 0
+        assert replica.needs_reseed
+        assert replica.stats.pruned_at_source == 1
+        assert "pruned" in replica.stall_reason
+        # Tailing is short-circuited until the re-seed happens.
+        assert replica.catch_up() == 0
+
+        fresh = str(tmp_path / "fresh.backup")
+        db.hot_backup(fresh)
+        result = replica.reseed_from(fresh)
+        assert result.sequence == db.commit_sequence
+        assert not replica.needs_reseed
+        assert replica.stall_reason is None
+        assert replica.stats.reseeds == 1
+        # Tailing resumes from the new base.
+        db.add_document(XML_A, name="after")
+        db.flush()
+        assert replica.catch_up() == 1
+        assert replica.applied_sequence == db.commit_sequence
+        assert [n for _i, n in replica.documents()][-1] == "after"
+        db.close()
+        replica.close()
+
+    def test_missing_interior_segment_without_prune_still_stalls(
+            self, tmp_path):
+        """The other side of the discrimination: a hole *at or above*
+        the source's floor is loss/corruption, and re-seeding over it
+        would paper over divergence — the replica must stall."""
+        import os as _os
+
+        path, archive_dir, backup, db = make_primary(tmp_path)
+        for index in range(2):
+            db.add_document(XML_B, name="b%d" % index)
+            db.flush()
+        db.close()
+        archive = Archive(archive_dir, PAGE_SIZE)
+        sequences = archive.sequences()
+        _os.remove(archive.segment_path(sequences[1]))  # interior hole
+
+        replica = make_standby(tmp_path, archive_dir, backup)
+        assert replica.catch_up() in (0, 1)
+        assert not replica.needs_reseed
+        assert replica.stats.pruned_at_source == 0
+        assert "missing below head" in replica.stall_reason
+        replica.close()
+
 
 class TestDivergence:
     def _primary_with_three_commits(self, tmp_path):

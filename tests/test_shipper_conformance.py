@@ -80,6 +80,43 @@ class ShipperContract:
         with self.shipper_for(archive) as shipper:
             assert shipper.fetch(1) is None
 
+    def test_empty_stream_has_no_retention_floor(self, archive):
+        with self.shipper_for(archive) as shipper:
+            assert shipper.oldest_sequence() is None
+
+    def test_oldest_sequence_tracks_the_retention_floor(self, archive):
+        for sequence in (1, 2, 3, 4):
+            append_segment(archive, sequence)
+        with self.shipper_for(archive) as shipper:
+            assert shipper.oldest_sequence() == 1
+            archive.prune_upto(2)
+            assert shipper.oldest_sequence() == 3
+
+    def test_segment_pruned_at_source_is_distinguishable(self, archive):
+        """The pruned-vs-lost discrimination the re-seed path rests on:
+        a fetch below the retention floor returns None AND the floor is
+        above the requested sequence — so the standby knows the segment
+        is *gone by policy*, not lost in transport."""
+        for sequence in (1, 2, 3):
+            append_segment(archive, sequence)
+        archive.prune_upto(2)
+        with self.shipper_for(archive) as shipper:
+            assert shipper.fetch(1) is None
+            assert shipper.fetch(2) is None
+            oldest = shipper.oldest_sequence()
+            assert oldest == 3
+            assert oldest > 2          # pruned: floor above the request
+            assert shipper.fetch(3) is not None   # retained still serves
+            assert shipper.latest_sequence() == 3
+
+    def test_fully_pruned_stream_reports_no_floor(self, archive):
+        append_segment(archive, 1)
+        append_segment(archive, 2)
+        archive.prune_upto(2)
+        with self.shipper_for(archive) as shipper:
+            assert shipper.oldest_sequence() is None
+            assert shipper.fetch(1) is None
+
     def test_context_manager_connects_and_close_is_idempotent(self,
                                                               archive):
         append_segment(archive, 1)
